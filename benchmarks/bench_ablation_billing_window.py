@@ -1,0 +1,62 @@
+"""Ablation — the SLA billing window (EXPERIMENTS.md deviation 1).
+
+This reproduction evaluates the violation tiers over a trailing billing
+window instead of the paper's cumulative-from-start percentage.  The
+deviation must not *create* the headline ordering: Megh has to beat
+THR-MMT on total cost under a short window (2 h), a long window (1 day),
+and the cumulative reading (window = experiment length).  This bench
+runs all three and asserts exactly that.
+"""
+
+from benchmarks.conftest import run_once
+from repro.baselines.mmt.scheduler import MMTScheduler
+from repro.config import CostConfig, SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.harness.builders import build_planetlab_simulation
+from repro.harness.runner import run_comparison
+
+STEPS = 600
+WINDOWS = {
+    "2h window": 7200.0,
+    "1d window": 86400.0,
+    "cumulative": STEPS * 300.0,
+}
+
+
+def test_ablation_billing_window(benchmark, emit):
+    def experiment():
+        outcome = {}
+        for label, window in WINDOWS.items():
+            config = SimulationConfig(
+                num_steps=STEPS,
+                seed=0,
+                costs=CostConfig(sla_billing_window_seconds=window),
+            )
+            sim = build_planetlab_simulation(
+                num_pms=16, num_vms=21, num_steps=STEPS, seed=0,
+                config=config,
+            )
+            outcome[label] = run_comparison(
+                sim,
+                {
+                    "THR-MMT": lambda s: MMTScheduler("THR"),
+                    "Megh": lambda s: MeghScheduler.from_simulation(
+                        s, seed=0
+                    ),
+                },
+            )
+        return outcome
+
+    results = run_once(benchmark, experiment)
+    lines = ["ablation: SLA billing window (600 steps, 16 PMs/21 VMs)"]
+    for label, runs in results.items():
+        lines.append(
+            f"{label:11s}: Megh={runs['Megh'].total_cost_usd:8.2f} USD  "
+            f"THR-MMT={runs['THR-MMT'].total_cost_usd:8.2f} USD"
+        )
+    emit("\n".join(lines))
+
+    for label, runs in results.items():
+        assert (
+            runs["Megh"].total_cost_usd < runs["THR-MMT"].total_cost_usd
+        ), f"Megh must beat THR-MMT under the {label} billing model"

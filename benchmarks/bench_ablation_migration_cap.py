@@ -1,0 +1,43 @@
+"""Ablation — the 2 % per-step migration cap (Section 6.1).
+
+The paper caps Megh at 2 % of the VMs per step.  This bench sweeps the
+cap and reports total cost and migrations: a tiny cap starves overload
+relief, an unbounded cap lets exploration churn; the paper's 2 % must be
+competitive with the best of the sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.config import MeghConfig
+from repro.core.agent import MeghScheduler
+from repro.harness.builders import build_planetlab_simulation
+
+CAPS = (0.02, 0.10, 0.50)
+
+
+def test_ablation_migration_cap(benchmark, emit):
+    def experiment():
+        outcome = {}
+        for cap in CAPS:
+            sim = build_planetlab_simulation(
+                num_pms=16, num_vms=21, num_steps=400, seed=0
+            )
+            config = MeghConfig(max_migration_fraction=cap)
+            agent = MeghScheduler.from_simulation(sim, config=config, seed=0)
+            outcome[cap] = sim.run(agent)
+        return outcome
+
+    results = run_once(benchmark, experiment)
+    lines = ["ablation: migration cap (400 steps, 16 PMs/21 VMs)"]
+    for cap, result in results.items():
+        lines.append(
+            f"cap={cap:4.0%}: total={result.total_cost_usd:8.2f} USD "
+            f"migrations={result.total_migrations:5d}"
+        )
+    emit("\n".join(lines))
+
+    # Larger caps must produce at least as many migrations.
+    migrations = [results[cap].total_migrations for cap in CAPS]
+    assert migrations == sorted(migrations)
+    # The paper's 2 % must be within 2x of the sweep's best cost.
+    best = min(r.total_cost_usd for r in results.values())
+    assert results[0.02].total_cost_usd <= 2.0 * best

@@ -1,0 +1,72 @@
+"""Figure 1 — workload characterisation.
+
+(a) PlanetLab dynamics: per-step mean/max/min utilization with the
+    published fleet statistics (mean ~12 %, high dispersion, extremes
+    from ~5 % to ~90 %).
+(b) Google task durations: log-spaced histogram spanning 10^1..10^6 s
+    that matches no standard parametric distribution (Cullen-Frey).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import downsample
+from repro.workloads.google import generate_google_workload
+from repro.workloads.planetlab import generate_planetlab_workload
+from repro.workloads.statistics import (
+    duration_histogram,
+    nearest_standard_distribution,
+    summarize_workload,
+)
+
+
+def test_fig1a_planetlab_dynamics(benchmark, emit):
+    def experiment():
+        workload = generate_planetlab_workload(
+            num_vms=200, num_steps=576, seed=0
+        )
+        return summarize_workload(workload)
+
+    stats = run_once(benchmark, experiment)
+    lines = ["Figure 1(a): PlanetLab workload dynamics (bench scale)"]
+    lines.append(f"fleet mean={stats.mean_utilization:.1%} "
+                 f"std={stats.std_utilization:.1%}")
+    for label, series in (
+        ("mean", stats.per_step_mean),
+        ("max ", stats.per_step_max),
+        ("min ", stats.per_step_min),
+    ):
+        samples = " ".join(f"{v:.2f}" for v in downsample(list(series), 12))
+        lines.append(f"per-step {label}: {samples}")
+    emit("\n".join(lines))
+
+    # Paper statistics: mean ~12 %, extremes up to ~90 %, min ~5 %.
+    assert 0.05 <= stats.mean_utilization <= 0.30
+    assert max(stats.per_step_max) >= 0.80
+    assert stats.std_utilization >= 0.10
+
+
+def test_fig1b_google_durations(benchmark, emit):
+    def experiment():
+        _, tasks = generate_google_workload(
+            num_vms=400, num_steps=2016, seed=0, return_tasks=True
+        )
+        durations = [
+            t.duration_steps * 300.0 for t in tasks
+        ]
+        return durations
+
+    durations = run_once(benchmark, experiment)
+    histogram = duration_histogram(durations, bins_per_decade=1)
+    lines = ["Figure 1(b): Google task-duration histogram (bench scale)"]
+    for low, high, count in histogram:
+        bar = "#" * max(1, int(40 * count / max(c for _, _, c in histogram)))
+        lines.append(f"[{low:9.0f}, {high:9.0f}) s: {count:5d} {bar}")
+    fit = nearest_standard_distribution(durations)
+    lines.append(f"nearest standard distribution: {fit}")
+    emit("\n".join(lines))
+
+    # Durations span several decades and fit no standard family.
+    assert max(durations) / min(durations) > 1e2
+    assert fit == "none (non-standard)"
+    assert np.mean(durations) > 2 * np.median(durations)  # heavy tail

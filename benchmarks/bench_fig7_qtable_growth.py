@@ -1,0 +1,60 @@
+"""Figure 7 — growth of Megh's Q-table non-zeros with time and fleet size.
+
+Paper: with N = M, the number of non-zero elements grows linearly in time
+and the vertical shift between fleet sizes is roughly linear in the
+number of PMs (proportionality constant ~0.3 at paper scale).  The bench
+verifies linear-in-time growth (high R^2 of a linear fit) and a starting
+level that scales with M (the initial diagonal is d = M^2, so the shift
+across sizes is governed by the fleet).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_qtable_growth
+
+PM_COUNTS = (10, 20, 40)
+
+
+def test_fig7_qtable_growth(benchmark, emit):
+    growths = run_once(
+        benchmark,
+        lambda: run_qtable_growth(pm_counts=PM_COUNTS, num_steps=300),
+    )
+    lines = ["Figure 7 (bench scale): Q-table non-zeros vs time (N = M)"]
+    for growth in growths:
+        lines.append(
+            f"M=N={growth.num_pms:3d}: start={growth.nonzeros[0]:7d} "
+            f"final={growth.nonzeros[-1]:7d} "
+            f"slope={growth.slope:7.2f} nnz/step "
+            f"intercept={growth.intercept:9.1f}"
+        )
+    emit("\n".join(lines))
+
+    r_squared_by_size = {}
+    for growth in growths:
+        nnz = np.asarray(growth.nonzeros, dtype=float)
+        steps = np.asarray(growth.steps, dtype=float)
+        # Monotone non-decreasing growth with a positive trend...
+        assert np.all(np.diff(nnz) >= -2)
+        assert nnz[-1] > nnz[0]
+        slope, intercept = np.polyfit(steps, nnz, 1)
+        assert slope > 0.0
+        prediction = intercept + slope * steps
+        residual = nnz - prediction
+        total = nnz - nnz.mean()
+        r_squared_by_size[growth.num_pms] = (
+            1.0 - residual @ residual / max(total @ total, 1e-9)
+        )
+    # ...and approximately linear where the fleet is big enough for a
+    # steady migration flow.  (Tiny N = M fleets alternate bursts and
+    # calm, bending the curve; the paper's 100+-PM fleets don't.)
+    largest = max(r_squared_by_size)
+    assert r_squared_by_size[largest] > 0.70, (
+        f"growth must be ~linear at scale (R^2={r_squared_by_size})"
+    )
+
+    # Vertical shift increases with the number of PMs.
+    intercepts = [g.intercept for g in growths]
+    assert intercepts == sorted(intercepts)
+    assert growths[-1].nonzeros[-1] > growths[0].nonzeros[-1]

@@ -1,0 +1,65 @@
+"""Figure 8 — sensitivity of per-step cost to Temp0 and epsilon.
+
+Paper: the median per-step cost falls as Temp0 rises towards ~3 (more
+exploration escapes local minima) and rises again beyond it (too much
+exploration wastes migrations) — a U-shape with its minimum near
+Temp0 = 3.  The epsilon response is "sporadic": no single tipping point,
+with a good region near 1e-3.  The bench prints both box-plot summaries
+and asserts the weak-form shape: mid-range Temp0 is no worse than the
+extremes, and the cost spread across epsilon values stays bounded.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import (
+    run_epsilon_sensitivity,
+    run_temperature_sensitivity,
+)
+
+TEMPERATURES = (0.5, 1.0, 3.0, 6.0, 10.0)
+EPSILONS = (0.001, 0.01, 0.1, 1.0)
+
+
+def test_fig8a_temperature_sensitivity(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: run_temperature_sensitivity(
+            temperatures=TEMPERATURES, repeats=3, num_steps=300
+        ),
+    )
+    lines = ["Figure 8(a) (bench scale): per-step cost vs Temp0"]
+    for point in points:
+        lines.append(
+            f"Temp0={point.value:5.1f}: median={point.median_cost:.4f} "
+            f"[p10={point.p10_cost:.4f}, p90={point.p90_cost:.4f}]"
+        )
+    emit("\n".join(lines))
+
+    by_value = {p.value: p.median_cost for p in points}
+    # Weak U-shape: the paper's chosen Temp0 = 3 must not be worse than
+    # both extremes of the sweep.
+    assert by_value[3.0] <= max(by_value[0.5], by_value[10.0])
+    for point in points:
+        assert point.p10_cost <= point.median_cost <= point.p90_cost
+
+
+def test_fig8b_epsilon_sensitivity(benchmark, emit):
+    points = run_once(
+        benchmark,
+        lambda: run_epsilon_sensitivity(
+            epsilons=EPSILONS, repeats=3, num_steps=300
+        ),
+    )
+    lines = ["Figure 8(b) (bench scale): per-step cost vs epsilon"]
+    for point in points:
+        lines.append(
+            f"eps={point.value:7.3f}: median={point.median_cost:.4f} "
+            f"[p10={point.p10_cost:.4f}, p90={point.p90_cost:.4f}]"
+        )
+    emit("\n".join(lines))
+
+    # "Sporadic" response: all medians the same order of magnitude —
+    # epsilon tunes convergence speed, it cannot sink the system.
+    medians = [p.median_cost for p in points]
+    assert max(medians) <= 5.0 * min(medians)
+    for point in points:
+        assert point.median_cost > 0.0

@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper at bench scale,
+prints the paper-style rows/series (run pytest with ``-s`` to see them),
+and asserts the qualitative shape.  ``benchmark.pedantic(..., rounds=1)``
+is used throughout: each experiment is a full multi-scheduler simulation,
+so one round is the meaningful unit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture so ``-s`` shows the tables."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Continual learning: checkpoint a Megh agent and resume it later.
+
+Day 1: a fresh agent runs a day of PlanetLab-style load; the agent is
+checkpointed and the data center's end-of-day placement captured (the
+fleet does not reset overnight).  Day 2: from that same placement, a
+warm-started agent (restored Q-table, decayed temperature) and a fresh
+agent each run the next day — the warm agent exploits what it learned
+while the fresh one pays the exploration transient again.
+
+Run:
+    python examples/continual_learning.py
+"""
+
+import os
+import tempfile
+from typing import Dict
+
+from repro.cloudsim.allocation import place_first_fit
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.core.checkpoint import load_agent, save_agent
+from repro.harness.builders import make_planetlab_fleet
+from repro.workloads.planetlab import generate_planetlab_workload
+
+NUM_PMS = 16
+NUM_VMS = 21
+DAY = 288  # steps
+
+
+def day_simulation(
+    workload, start: int, placement: Dict[int, int] | None = None
+) -> Simulation:
+    """A data center replaying one day's slice of the trace.
+
+    ``placement`` seeds the initial VM->PM map (defaults to first-fit).
+    """
+    pms, vms = make_planetlab_fleet(NUM_PMS, NUM_VMS, seed=0)
+    datacenter = Datacenter(pms, vms)
+    if placement is None:
+        place_first_fit(datacenter)
+    else:
+        for vm_id, pm_id in placement.items():
+            datacenter.place(vm_id, pm_id)
+    return Simulation(
+        datacenter,
+        workload.slice_steps(start, start + DAY),
+        SimulationConfig(num_steps=DAY, seed=0),
+    )
+
+
+def main() -> None:
+    workload = generate_planetlab_workload(
+        num_vms=NUM_VMS, num_steps=2 * DAY, seed=7
+    )
+
+    # Day 1: train, checkpoint, and capture the end-of-day placement.
+    sim_day1 = day_simulation(workload, 0)
+    agent = MeghScheduler.from_simulation(sim_day1, seed=7)
+    day1 = sim_day1.run(agent)
+    overnight_placement = sim_day1.datacenter.placement()
+    checkpoint = os.path.join(tempfile.gettempdir(), "megh-agent.npz")
+    save_agent(agent, checkpoint)
+    print(f"day 1 (training) : {day1.total_cost_usd:8.2f} USD, "
+          f"{day1.total_migrations} migrations")
+    print(f"checkpoint saved : {checkpoint} "
+          f"({agent.q_table_nonzeros} Q-table non-zeros, "
+          f"temperature {agent.temperature:.3f})")
+
+    # Day 2: warm vs fresh, both resuming the fleet exactly as day 1
+    # left it.
+    warm = load_agent(checkpoint, seed=7)
+    warm_result = day_simulation(workload, DAY, overnight_placement).run(warm)
+
+    sim_fresh = day_simulation(workload, DAY, overnight_placement)
+    fresh = MeghScheduler.from_simulation(sim_fresh, seed=7)
+    fresh_result = sim_fresh.run(fresh)
+
+    print(f"\nday 2, warm agent : {warm_result.total_cost_usd:8.2f} USD, "
+          f"{warm_result.total_migrations} migrations")
+    print(f"day 2, fresh agent: {fresh_result.total_cost_usd:8.2f} USD, "
+          f"{fresh_result.total_migrations} migrations")
+    saved = fresh_result.total_cost_usd - warm_result.total_cost_usd
+    print(f"\nwarm start: {saved:+.2f} USD and "
+          f"{fresh_result.total_migrations - warm_result.total_migrations:+d}"
+          " migrations saved on day 2 relative to relearning from scratch (varies by trace).")
+
+    os.unlink(checkpoint)
+
+
+if __name__ == "__main__":
+    main()

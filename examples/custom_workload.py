@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Bring-your-own workload: plug a custom trace into the public API.
+
+Shows the three extension points a downstream user needs most:
+
+1. a hand-built utilization matrix wrapped in :class:`ArrayWorkload`
+   (here: a diurnal pattern with a correlated spike event);
+2. a hand-built fleet (heterogeneous PMs / VMs via the cloudsim models);
+3. a custom scheduler implementing the ``Scheduler`` protocol (here: a
+   toy "evict the hungriest VM from any overloaded host" policy),
+   compared against Megh on the same replay.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.migration import Migration
+from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.power import HP_PROLIANT_G4, HP_PROLIANT_G5
+from repro.cloudsim.simulation import Simulation
+from repro.cloudsim.vm import VirtualMachine
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.harness.runner import run_comparison
+from repro.harness.tables import render_comparison
+from repro.mdp.interfaces import Observation
+from repro.workloads.base import ArrayWorkload
+
+NUM_PMS = 8
+NUM_VMS = 12
+NUM_STEPS = 576
+
+
+def build_workload(seed: int = 0) -> ArrayWorkload:
+    """Diurnal base load plus one synchronized spike hour."""
+    rng = np.random.default_rng(seed)
+    steps = np.arange(NUM_STEPS)
+    matrix = np.zeros((NUM_VMS, NUM_STEPS))
+    for vm_id in range(NUM_VMS):
+        phase = 2 * np.pi * vm_id / NUM_VMS
+        diurnal = 0.15 + 0.10 * np.sin(2 * np.pi * steps / 288 + phase)
+        noise = rng.normal(0.0, 0.02, NUM_STEPS)
+        matrix[vm_id] = diurnal + noise
+    # A flash-crowd event each day: a third of the fleet spikes for an
+    # hour (day 1 hits VMs 0-2, day 2 hits VMs 4-6).
+    matrix[0:3, 140:152] += 0.60
+    matrix[4:7, 428:440] += 0.60
+    return ArrayWorkload(np.clip(matrix, 0.0, 1.0), name="diurnal+flash")
+
+
+def build_datacenter() -> Datacenter:
+    pms = [
+        PhysicalMachine(
+            pm_id=i,
+            mips=2 * 1860.0 if i % 2 == 0 else 2 * 2660.0,
+            ram_mb=4096.0,
+            bandwidth_mbps=1000.0,
+            power_model=HP_PROLIANT_G4 if i % 2 == 0 else HP_PROLIANT_G5,
+        )
+        for i in range(NUM_PMS)
+    ]
+    vms = [
+        VirtualMachine(
+            vm_id=j,
+            mips=1600.0 + 100.0 * (j % 5),
+            ram_mb=768.0,
+            bandwidth_mbps=100.0,
+        )
+        for j in range(NUM_VMS)
+    ]
+    datacenter = Datacenter(pms, vms)
+    for j in range(NUM_VMS):
+        datacenter.place(j, j % NUM_PMS)
+    return datacenter
+
+
+class EvictHungriestScheduler:
+    """Toy policy: move the hungriest VM off each overloaded host."""
+
+    name = "EvictHungriest"
+
+    def __init__(self, beta: float = 0.70) -> None:
+        self.beta = beta
+
+    def decide(self, observation: Observation) -> List[Migration]:
+        datacenter = observation.datacenter
+        migrations: List[Migration] = []
+        for pm_id in datacenter.overloaded_pm_ids(self.beta):
+            vm_ids = datacenter.vms_on(pm_id)
+            if not vm_ids:
+                continue
+            hungriest = max(
+                vm_ids, key=lambda v: datacenter.vm(v).demanded_mips
+            )
+            # Least-loaded feasible destination.
+            options = [
+                pm.pm_id
+                for pm in datacenter.pms
+                if pm.pm_id != pm_id
+                and datacenter.fits(hungriest, pm.pm_id)
+            ]
+            if not options:
+                continue
+            dest = min(options, key=datacenter.demanded_utilization)
+            migrations.append(Migration(vm_id=hungriest, dest_pm_id=dest))
+        return migrations
+
+
+def main() -> None:
+    workload = build_workload()
+    config = SimulationConfig(num_steps=NUM_STEPS, seed=0)
+
+    simulation = Simulation(build_datacenter(), workload, config)
+    results = run_comparison(
+        simulation,
+        {
+            "EvictHungriest": lambda sim: EvictHungriestScheduler(),
+            "Megh": lambda sim: MeghScheduler.from_simulation(sim, seed=0),
+        },
+    )
+    print(
+        render_comparison(
+            results,
+            title="Custom diurnal+flash workload on a hand-built fleet",
+        )
+    )
+    megh = results["Megh"].metrics.per_step_cost_series()
+    toy = results["EvictHungriest"].metrics.per_step_cost_series()
+    tail = 100  # the calm stretch after the day-2 flash has been billed
+    print(
+        "\nconverged per-step cost (last 100 steps): "
+        f"Megh {sum(megh[-tail:]) / tail:.4f} USD vs "
+        f"EvictHungriest {sum(toy[-tail:]) / tail:.4f} USD"
+    )
+    print(
+        "The spread-out static placement rides the flash crowds out "
+        "without overloading; Megh instead packs the fleet onto ~3 hosts "
+        "and relieves the flashes as they hit, winning on energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Network-aware migration on a fat-tree (the paper's Section-7 extension).
+
+Attaches a k-ary fat-tree topology to the simulator so cross-pod
+migrations run over oversubscribed links (slower transfers, more
+degradation downtime) while rack-local ones stay fast.  Megh is unchanged
+algorithmically — exactly the paper's claim that network awareness can be
+"seamlessly accommodated" — it simply learns from the different costs.
+
+Run:
+    python examples/fattree_network.py
+"""
+
+from repro.cloudsim.allocation import place_round_robin
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.network import FatTreeTopology, FlatNetwork
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.harness.builders import make_planetlab_fleet
+from repro.workloads.planetlab import generate_planetlab_workload
+
+NUM_PMS = 16  # exactly a k=4 fat-tree's capacity
+NUM_VMS = 21
+NUM_STEPS = 576
+
+
+def run_with(topology, label: str) -> None:
+    pms, vms = make_planetlab_fleet(NUM_PMS, NUM_VMS, seed=0)
+    datacenter = Datacenter(pms, vms)
+    place_round_robin(datacenter)
+    workload = generate_planetlab_workload(
+        num_vms=NUM_VMS, num_steps=NUM_STEPS, seed=4
+    )
+    simulation = Simulation(
+        datacenter,
+        workload,
+        SimulationConfig(num_steps=NUM_STEPS, seed=4),
+        topology=topology,
+    )
+    agent = MeghScheduler.from_simulation(simulation, seed=4)
+    result = simulation.run(agent)
+    print(f"{label:34s} total={result.total_cost_usd:8.2f} USD  "
+          f"migrations={result.total_migrations:4d}  "
+          f"SLA={result.metrics.total_sla_cost_usd:7.2f} USD")
+
+
+def main() -> None:
+    print(f"{NUM_PMS} PMs / {NUM_VMS} VMs / {NUM_STEPS} steps "
+          "(k=4 fat-tree: 2 hosts per edge switch, 4 per pod)\n")
+    run_with(FlatNetwork(link_bandwidth_mbps=1000.0), "flat non-blocking fabric")
+    run_with(
+        FatTreeTopology(k=4),
+        "fat-tree, non-blocking (ideal)",
+    )
+    run_with(
+        FatTreeTopology(
+            k=4, edge_oversubscription=4.0, aggregation_oversubscription=4.0
+        ),
+        "fat-tree, 4:1 oversubscribed",
+    )
+    print(
+        "\nOversubscription slows cross-pod transfers 16x, so every "
+        "migration Megh issues across pods costs more downtime — the "
+        "learned policy pays for the topology without any algorithmic "
+        "change."
+    )
+
+
+if __name__ == "__main__":
+    main()

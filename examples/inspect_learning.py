@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Inspect Megh's learning: decision trace + terminal charts.
+
+Runs a traced Megh agent, then renders what the paper's figures show —
+per-step cost, migrations, temperature decay, Q-table growth — as
+terminal sparklines and a line chart, plus a per-VM migration census.
+
+Run:
+    python examples/inspect_learning.py
+"""
+
+from repro.core.agent import MeghScheduler
+from repro.core.trace import DecisionTrace
+from repro.harness.ascii_plot import labelled_sparklines, line_chart
+from repro.harness.builders import build_planetlab_simulation
+
+NUM_PMS = 16
+NUM_VMS = 21
+NUM_STEPS = 600
+
+
+def main() -> None:
+    simulation = build_planetlab_simulation(
+        num_pms=NUM_PMS, num_vms=NUM_VMS, num_steps=NUM_STEPS, seed=1
+    )
+    trace = DecisionTrace()
+    agent = MeghScheduler(
+        num_vms=NUM_VMS,
+        num_pms=NUM_PMS,
+        beta=simulation.config.datacenter.overload_threshold,
+        seed=1,
+        trace=trace,
+    )
+    result = simulation.run(agent)
+
+    costs = result.metrics.per_step_cost_series()
+    print(result.summary())
+    print()
+    print(
+        line_chart(
+            {"cost/step (USD)": costs},
+            width=70,
+            height=10,
+            title="per-step operation cost (exploration transient, then calm)",
+        )
+    )
+    print()
+    print(
+        labelled_sparklines(
+            {
+                "cost/step": costs,
+                "migrations": [float(m) for m in trace.migrations_per_step],
+                "temperature": trace.temperatures,
+                "Q-table nnz": [
+                    float(r.q_table_nonzeros) for r in trace.records
+                ],
+                "active hosts": [
+                    float(h) for h in result.metrics.active_host_series()
+                ],
+            },
+            width=60,
+        )
+    )
+    print()
+    end = trace.exploration_phase_end(quiet_steps=30)
+    print(f"exploration phase settles around step {end} "
+          f"(temperature there: {trace.temperatures[min(end, NUM_STEPS - 1)]:.3f})")
+    census = sorted(
+        trace.vm_move_counts().items(), key=lambda kv: -kv[1]
+    )[:5]
+    print("most-migrated VMs:", ", ".join(f"vm{v} x{c}" for v, c in census))
+
+
+if __name__ == "__main__":
+    main()

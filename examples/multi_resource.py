@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Multi-resource scheduling: CPU *and* network bandwidth.
+
+Section 3.1 of the paper claims additional resources "can be added as
+additional modules ... without modifying Megh algorithmically".  This
+example demonstrates it: the workload carries a network-utilization
+stream correlated with CPU, the simulator treats link saturation as
+overload, and the same Megh agent — fed only the richer cost signal —
+relieves bandwidth hotspots a CPU-only view cannot even see.
+
+Run:
+    python examples/multi_resource.py
+"""
+
+from repro.cloudsim.allocation import place_first_fit
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.simulation import Simulation
+from repro.config import DatacenterConfig, SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.harness.builders import make_planetlab_fleet
+from repro.workloads.bandwidth import derive_bandwidth_workload
+from repro.workloads.planetlab import generate_planetlab_workload
+
+NUM_PMS = 12
+NUM_VMS = 16
+NUM_STEPS = 400
+
+
+def build_simulation(bandwidth_aware: bool) -> Simulation:
+    pms, vms = make_planetlab_fleet(NUM_PMS, NUM_VMS, seed=2)
+    # Give VMs big traffic allocations so co-located chatty VMs can
+    # saturate the 1-Gbps host links.
+    for vm in vms:
+        vm.bandwidth_mbps = 400.0
+    datacenter = Datacenter(pms, vms)
+    place_first_fit(datacenter)
+    cpu = generate_planetlab_workload(
+        num_vms=NUM_VMS, num_steps=NUM_STEPS, seed=2
+    )
+    workload = derive_bandwidth_workload(
+        cpu, correlation=0.9, base_level=0.25, noise_std=0.05, seed=2
+    )
+    config = SimulationConfig(
+        num_steps=NUM_STEPS,
+        seed=2,
+        datacenter=DatacenterConfig(bandwidth_aware=bandwidth_aware),
+    )
+    return Simulation(datacenter, workload, config)
+
+
+def run(bandwidth_aware: bool) -> None:
+    label = "bandwidth-aware" if bandwidth_aware else "CPU-only view"
+    simulation = build_simulation(bandwidth_aware)
+    agent = MeghScheduler.from_simulation(simulation, seed=2)
+    result = simulation.run(agent)
+    link_overloads = len(
+        simulation.datacenter.overloaded_pm_ids(0.7, bandwidth_threshold=0.7)
+    )
+    print(
+        f"{label:16s}: total={result.total_cost_usd:8.2f} USD "
+        f"(SLA {result.metrics.total_sla_cost_usd:7.2f})  "
+        f"migrations={result.total_migrations:4d}  "
+        f"saturated links at end={link_overloads}"
+    )
+
+
+def main() -> None:
+    print(
+        f"{NUM_PMS} PMs / {NUM_VMS} VMs / {NUM_STEPS} steps; VM traffic "
+        "allocations 400 Mbps on 1-Gbps host links\n"
+    )
+    run(bandwidth_aware=False)
+    run(bandwidth_aware=True)
+    print(
+        "\nWith bandwidth awareness on, saturated links count as overload: "
+        "Megh sees their cost, spreads the chatty VMs, and the SLA bill "
+        "reflects network QoS — no algorithmic change to the agent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: run Megh on a synthetic PlanetLab-style data center.
+
+Builds a 20-PM / 26-VM data center replaying a day of PlanetLab-style
+CPU traces, runs the Megh scheduler on it, and prints the Table-2-style
+summary plus a short convergence readout.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import MeghScheduler, build_planetlab_simulation
+
+
+def main() -> None:
+    # One day of 5-minute intervals (288 steps).
+    simulation = build_planetlab_simulation(
+        num_pms=20, num_vms=26, num_steps=288, seed=42
+    )
+
+    # Megh sizes its action space (d = N x M) from the simulation and
+    # inherits the simulator's overload threshold beta.
+    scheduler = MeghScheduler.from_simulation(simulation, seed=42)
+
+    result = simulation.run(scheduler)
+
+    print(result.summary())
+    print()
+    print(f"Q-table non-zeros : {scheduler.q_table_nonzeros}")
+    print(f"final temperature : {scheduler.temperature:.4f}")
+    print(f"convergence step  : {result.metrics.convergence_step()}")
+
+    costs = result.metrics.per_step_cost_series()
+    quarter = len(costs) // 4
+    early = sum(costs[:quarter]) / quarter
+    late = sum(costs[-quarter:]) / quarter
+    print(f"per-step cost     : {early:.4f} USD (first quarter) -> "
+          f"{late:.4f} USD (last quarter)")
+
+
+if __name__ == "__main__":
+    main()

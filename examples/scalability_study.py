@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scalability study: per-step decision time vs fleet size (Figure 6).
+
+Sweeps the fleet over an 8x range, measuring the mean per-step decision
+time of THR-MMT and Megh, and reports the growth factors and crossover —
+the paper's argument for Megh as the real-time scheduler at scale.
+
+Run:
+    python examples/scalability_study.py [--max-pms N]
+"""
+
+import argparse
+
+from repro.harness.experiments import run_scalability_grid
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-pms",
+        type=int,
+        default=80,
+        help="largest PM count in the sweep (VMs = 1.3x PMs)",
+    )
+    parser.add_argument("--steps", type=int, default=100)
+    args = parser.parse_args()
+
+    sizes = []
+    pms = max(10, args.max_pms // 8)
+    while pms <= args.max_pms:
+        sizes.append((pms, int(1.3 * pms)))
+        pms *= 2
+
+    print(f"sweeping fleet sizes: {sizes} ({args.steps} steps each)\n")
+    points = run_scalability_grid(sizes=tuple(sizes), num_steps=args.steps)
+
+    by_algorithm = {}
+    for point in points:
+        by_algorithm.setdefault(point.algorithm, []).append(point)
+
+    print(f"{'m':>5} {'n':>5} {'THR-MMT (ms)':>14} {'Megh (ms)':>12}")
+    thr = {p.num_pms: p for p in by_algorithm["THR-MMT"]}
+    megh = {p.num_pms: p for p in by_algorithm["Megh"]}
+    for num_pms, num_vms in sizes:
+        print(
+            f"{num_pms:>5} {num_vms:>5} "
+            f"{thr[num_pms].mean_step_ms:>14.3f} "
+            f"{megh[num_pms].mean_step_ms:>12.3f}"
+        )
+
+    first, last = sizes[0][0], sizes[-1][0]
+    thr_factor = thr[last].mean_step_ms / max(thr[first].mean_step_ms, 1e-9)
+    megh_factor = megh[last].mean_step_ms / max(megh[first].mean_step_ms, 1e-9)
+    print(
+        f"\ngrowth over the {last // first}x size range: "
+        f"THR-MMT x{thr_factor:.1f}, Megh x{megh_factor:.1f}"
+    )
+    if megh[last].mean_step_ms < thr[last].mean_step_ms:
+        print("at the largest fleet Megh decides faster — the Figure-6 story.")
+
+
+if __name__ == "__main__":
+    main()

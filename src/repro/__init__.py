@@ -1,0 +1,58 @@
+"""Reproduction of "Learn-as-you-go with Megh" (ICDCS 2017).
+
+This package provides a complete, self-contained reproduction of the Megh
+paper: a discrete-time cloud data-center simulator (``repro.cloudsim``),
+energy/SLA cost models (``repro.costs``), synthetic PlanetLab- and
+Google-Cluster-style workload generators (``repro.workloads``), the Megh
+online reinforcement-learning scheduler (``repro.core``), the MMT heuristic
+family, MadVM and Q-learning baselines (``repro.baselines``), and an
+experiment harness that regenerates every table and figure of the paper's
+evaluation section (``repro.harness``).
+
+Quickstart::
+
+    from repro import build_planetlab_simulation, MeghScheduler
+
+    sim = build_planetlab_simulation(num_pms=20, num_vms=30, num_steps=288)
+    scheduler = MeghScheduler.from_simulation(sim)
+    result = sim.run(scheduler)
+    print(result.summary())
+"""
+
+from repro.config import (
+    CostConfig,
+    DatacenterConfig,
+    MeghConfig,
+    SimulationConfig,
+)
+from repro.cloudsim.simulation import Simulation, SimulationResult
+from repro.core.agent import MeghScheduler
+from repro.baselines.mmt.scheduler import MMTScheduler
+from repro.baselines.madvm import MadVMScheduler
+from repro.baselines.noop import NoMigrationScheduler
+from repro.baselines.random_policy import RandomScheduler
+from repro.harness.builders import (
+    build_google_simulation,
+    build_planetlab_simulation,
+    build_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostConfig",
+    "DatacenterConfig",
+    "MeghConfig",
+    "SimulationConfig",
+    "Simulation",
+    "SimulationResult",
+    "MeghScheduler",
+    "MMTScheduler",
+    "MadVMScheduler",
+    "NoMigrationScheduler",
+    "RandomScheduler",
+    "build_simulation",
+    "build_planetlab_simulation",
+    "build_google_simulation",
+    "__version__",
+]

@@ -1,0 +1,276 @@
+"""Host-overload detection policies of the MMT family.
+
+Each detector decides whether a host is (about to be) overloaded from its
+recent utilization history:
+
+* **THR** — fixed utilization threshold;
+* **IQR** — adaptive threshold ``1 - s * IQR(history)``;
+* **MAD** — adaptive threshold ``1 - s * MAD(history)``;
+* **LR** — local (least-squares) regression extrapolates the next
+  utilization; overload if ``safety * prediction >= 1``;
+* **LRR** — the same with iteratively re-weighted (bisquare) robust
+  regression.
+
+Parameters follow Beloglazov & Buyya's defaults (IQR s=1.5, MAD s=2.5,
+LR/LRR safety=1.2, window of 10–12 samples).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+from repro.cloudsim.monitor import (
+    interquartile_range,
+    median_absolute_deviation,
+)
+from repro.errors import ConfigurationError
+
+
+class OverloadDetector(Protocol):
+    """Decides host overload from a utilization history (oldest first)."""
+
+    name: str
+
+    def is_overloaded(self, history: Sequence[float]) -> bool:
+        ...
+
+    def threshold(self, history: Sequence[float]) -> float:
+        """Effective utilization threshold implied by the history."""
+        ...
+
+
+class ThresholdDetector:
+    """THR: overload when current utilization exceeds a fixed threshold.
+
+    The default matches the paper's beta = 70 % overload threshold so the
+    detector fires exactly when SLA violations start accruing.
+    """
+
+    def __init__(self, utilization_threshold: float = 0.7) -> None:
+        if not 0 < utilization_threshold <= 1:
+            raise ConfigurationError("threshold must be in (0, 1]")
+        self.utilization_threshold = utilization_threshold
+        self.name = "THR"
+
+    def threshold(self, history: Sequence[float]) -> float:
+        return self.utilization_threshold
+
+    def is_overloaded(self, history: Sequence[float]) -> bool:
+        if not history:
+            return False
+        return history[-1] > self.utilization_threshold
+
+
+class _AdaptiveDetector:
+    """Shared shape of the IQR and MAD adaptive-threshold detectors.
+
+    ``max_threshold`` caps the adaptive value: a detector that tolerates
+    more utilization than the SLA's overload threshold would knowingly sit
+    in the violation band, so the cap defaults to the paper's beta.
+    """
+
+    #: Never let the adaptive threshold collapse below this floor.
+    MIN_THRESHOLD = 0.05
+
+    def __init__(
+        self,
+        safety: float,
+        fallback_threshold: float = 0.7,
+        max_threshold: float = 0.7,
+    ) -> None:
+        if safety <= 0:
+            raise ConfigurationError("safety parameter must be > 0")
+        if not 0 < fallback_threshold <= 1:
+            raise ConfigurationError("fallback threshold must be in (0, 1]")
+        if not 0 < max_threshold <= 1:
+            raise ConfigurationError("max threshold must be in (0, 1]")
+        self.safety = safety
+        self.fallback_threshold = fallback_threshold
+        self.max_threshold = max_threshold
+
+    def _dispersion(self, history: Sequence[float]) -> float:
+        raise NotImplementedError
+
+    def threshold(self, history: Sequence[float]) -> float:
+        if len(history) < 3:
+            return self.fallback_threshold
+        value = 1.0 - self.safety * self._dispersion(history)
+        return max(self.MIN_THRESHOLD, min(self.max_threshold, value))
+
+    def is_overloaded(self, history: Sequence[float]) -> bool:
+        if not history:
+            return False
+        return history[-1] > self.threshold(history)
+
+
+class IqrDetector(_AdaptiveDetector):
+    """IQR: threshold ``1 - s * interquartile range`` (default s = 1.5)."""
+
+    def __init__(
+        self,
+        safety: float = 1.5,
+        fallback_threshold: float = 0.7,
+        max_threshold: float = 0.7,
+    ):
+        super().__init__(safety, fallback_threshold, max_threshold)
+        self.name = "IQR"
+
+    def _dispersion(self, history: Sequence[float]) -> float:
+        return interquartile_range(history)
+
+
+class MadDetector(_AdaptiveDetector):
+    """MAD: threshold ``1 - s * median absolute deviation`` (s = 2.5)."""
+
+    def __init__(
+        self,
+        safety: float = 2.5,
+        fallback_threshold: float = 0.7,
+        max_threshold: float = 0.7,
+    ):
+        super().__init__(safety, fallback_threshold, max_threshold)
+        self.name = "MAD"
+
+    def _dispersion(self, history: Sequence[float]) -> float:
+        return median_absolute_deviation(history)
+
+
+def _least_squares_fit(ys: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y = a + b x`` over ``x = 0..len-1``; returns ``(a, b)``."""
+    n = len(ys)
+    xs = range(n)
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(ys) / n
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0.0:
+        return (mean_y, 0.0)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = num / den
+    return (mean_y - slope * mean_x, slope)
+
+
+def _weighted_fit(
+    ys: Sequence[float], weights: Sequence[float]
+) -> tuple[float, float]:
+    """Weighted least squares ``y = a + b x`` over ``x = 0..len-1``."""
+    total = sum(weights)
+    if total == 0.0:
+        return _least_squares_fit(ys)
+    xs = range(len(ys))
+    mean_x = sum(w * x for w, x in zip(weights, xs)) / total
+    mean_y = sum(w * y for w, y in zip(weights, ys)) / total
+    den = sum(w * (x - mean_x) ** 2 for w, x in zip(weights, xs))
+    if den == 0.0:
+        return (mean_y, 0.0)
+    num = sum(
+        w * (x - mean_x) * (y - mean_y)
+        for w, x, y in zip(weights, xs, ys)
+    )
+    slope = num / den
+    return (mean_y - slope * mean_x, slope)
+
+
+class LocalRegressionDetector:
+    """LR: linear extrapolation of the history predicts the next sample."""
+
+    def __init__(
+        self,
+        safety: float = 1.2,
+        fallback_threshold: float = 0.7,
+        min_history: int = 4,
+        trigger_utilization: float = 0.7,
+    ) -> None:
+        if safety <= 0:
+            raise ConfigurationError("safety must be > 0")
+        if min_history < 2:
+            raise ConfigurationError("min_history must be >= 2")
+        if not 0 < trigger_utilization <= 1:
+            raise ConfigurationError("trigger utilization must be in (0, 1]")
+        self.safety = safety
+        self.fallback_threshold = fallback_threshold
+        self.min_history = min_history
+        self.trigger_utilization = trigger_utilization
+        self.name = "LR"
+
+    def _predict_next(self, history: Sequence[float]) -> float:
+        intercept, slope = _least_squares_fit(history)
+        return intercept + slope * len(history)
+
+    def threshold(self, history: Sequence[float]) -> float:
+        return self.fallback_threshold
+
+    def is_overloaded(self, history: Sequence[float]) -> bool:
+        if len(history) < self.min_history:
+            return bool(history) and history[-1] > self.fallback_threshold
+        prediction = self._predict_next(history)
+        return self.safety * prediction >= self.trigger_utilization
+
+
+class RobustLocalRegressionDetector(LocalRegressionDetector):
+    """LRR: iteratively re-weighted (bisquare) robust local regression."""
+
+    def __init__(
+        self,
+        safety: float = 1.2,
+        fallback_threshold: float = 0.7,
+        min_history: int = 4,
+        trigger_utilization: float = 0.7,
+        iterations: int = 2,
+    ) -> None:
+        super().__init__(
+            safety, fallback_threshold, min_history, trigger_utilization
+        )
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        self.iterations = iterations
+        self.name = "LRR"
+
+    def _predict_next(self, history: Sequence[float]) -> float:
+        intercept, slope = _least_squares_fit(history)
+        for _ in range(self.iterations):
+            residuals = [
+                y - (intercept + slope * x) for x, y in enumerate(history)
+            ]
+            scale = 6.0 * _median_abs(residuals)
+            if scale == 0.0:
+                break
+            weights = [_bisquare(r / scale) for r in residuals]
+            intercept, slope = _weighted_fit(history, weights)
+        return intercept + slope * len(history)
+
+
+def _median_abs(values: Sequence[float]) -> float:
+    ordered = sorted(abs(v) for v in values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _bisquare(u: float) -> float:
+    if abs(u) >= 1.0:
+        return 0.0
+    return (1.0 - u * u) ** 2
+
+
+#: The five detectors evaluated by the paper, by MMT-variant name.
+DETECTOR_NAMES = ("THR", "IQR", "MAD", "LR", "LRR")
+
+
+def make_detector(name: str, **kwargs) -> OverloadDetector:
+    """Build a detector by its paper name (case-insensitive)."""
+    registry = {
+        "THR": ThresholdDetector,
+        "IQR": IqrDetector,
+        "MAD": MadDetector,
+        "LR": LocalRegressionDetector,
+        "LRR": RobustLocalRegressionDetector,
+    }
+    key = name.upper()
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown detector {name!r}; choose from {sorted(registry)}"
+        )
+    return registry[key](**kwargs)

@@ -1,0 +1,104 @@
+"""Power-aware best-fit-decreasing placement (PABFD).
+
+Given VMs to place, PABFD sorts them by CPU demand (decreasing) and puts
+each on the host whose power draw increases the least, among hosts with
+enough free RAM whose post-placement utilization stays under the safety
+threshold.  This is the placement stage shared by every MMT variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.cloudsim.datacenter import Datacenter
+
+
+def power_increase(
+    datacenter: Datacenter,
+    pm_id: int,
+    extra_mips: float,
+    pending_mips: float = 0.0,
+) -> float:
+    """Watts added to a host by ``extra_mips`` more demand.
+
+    ``pending_mips`` accounts for demand already promised to the host by
+    earlier placements within the same planning round.
+    """
+    pm = datacenter.pm(pm_id)
+    before = min(
+        1.0, (datacenter.demanded_mips(pm_id) + pending_mips) / pm.mips
+    )
+    after = min(
+        1.0,
+        (datacenter.demanded_mips(pm_id) + pending_mips + extra_mips)
+        / pm.mips,
+    )
+    wake_cost = pm.power_model.power(0.0) if pm.asleep else 0.0
+    return (
+        pm.power_model.power(after) - pm.power_model.power(before) + wake_cost
+    )
+
+
+def power_aware_best_fit(
+    datacenter: Datacenter,
+    vm_ids: Iterable[int],
+    threshold: float,
+    excluded_hosts: Sequence[int] = (),
+) -> Dict[int, int]:
+    """Plan destinations for ``vm_ids`` (PABFD).
+
+    Returns a partial ``vm_id -> pm_id`` map: VMs for which no feasible
+    host exists are simply absent (they stay where they are).  The plan
+    respects RAM capacity and keeps every destination's demanded
+    utilization at or below ``threshold``, accounting for VMs placed
+    earlier in the same plan.
+    """
+    excluded: Set[int] = set(excluded_hosts)
+    plan: Dict[int, int] = {}
+    pending_mips: Dict[int, float] = {}
+    pending_ram: Dict[int, float] = {}
+    ordered = sorted(
+        vm_ids, key=lambda vm_id: -datacenter.vm(vm_id).demanded_mips
+    )
+    for vm_id in ordered:
+        vm = datacenter.vm(vm_id)
+        source = datacenter.host_of(vm_id)
+        best_pm: Optional[int] = None
+        best_increase = float("inf")
+        for pm in datacenter.pms:
+            pm_id = pm.pm_id
+            if pm_id in excluded or pm_id == source:
+                continue
+            free_ram = datacenter.ram_free_mb(pm_id) - pending_ram.get(
+                pm_id, 0.0
+            )
+            if vm.ram_mb > free_ram:
+                continue
+            demand_after = (
+                datacenter.demanded_mips(pm_id)
+                + pending_mips.get(pm_id, 0.0)
+                + vm.demanded_mips
+            )
+            if demand_after > threshold * pm.mips:
+                continue
+            increase = power_increase(
+                datacenter, pm_id, vm.demanded_mips, pending_mips.get(pm_id, 0.0)
+            )
+            if increase < best_increase:
+                best_increase = increase
+                best_pm = pm_id
+        if best_pm is not None:
+            plan[vm_id] = best_pm
+            pending_mips[best_pm] = (
+                pending_mips.get(best_pm, 0.0) + vm.demanded_mips
+            )
+            pending_ram[best_pm] = pending_ram.get(best_pm, 0.0) + vm.ram_mb
+    return plan
+
+
+def hosts_by_utilization(datacenter: Datacenter) -> List[int]:
+    """Active hosts ordered by demanded utilization, least loaded first."""
+    return sorted(
+        datacenter.active_pm_ids(),
+        key=lambda pm_id: datacenter.demanded_utilization(pm_id),
+    )

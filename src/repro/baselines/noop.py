@@ -1,0 +1,22 @@
+"""Baseline that never migrates — the static-allocation floor."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cloudsim.migration import Migration
+from repro.mdp.interfaces import Observation
+
+
+class NoMigrationScheduler:
+    """Keeps the initial placement forever.
+
+    Useful as a calibration point: any consolidation scheduler should beat
+    it on energy for light workloads, and any overload-relief scheduler
+    should beat it on SLA for heavy workloads.
+    """
+
+    name = "NoMigration"
+
+    def decide(self, observation: Observation) -> List[Migration]:
+        return []

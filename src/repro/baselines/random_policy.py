@@ -1,0 +1,51 @@
+"""Baseline that migrates random VMs to random feasible hosts.
+
+A sanity floor for learning algorithms: Megh must beat it decisively, and
+it stresses the migration engine's feasibility handling in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cloudsim.migration import Migration
+from repro.errors import ConfigurationError
+from repro.mdp.interfaces import Observation
+
+
+class RandomScheduler:
+    """Each step, migrates ``migrations_per_step`` random VMs."""
+
+    name = "Random"
+
+    def __init__(self, migrations_per_step: int = 1, seed: int = 0) -> None:
+        if migrations_per_step < 0:
+            raise ConfigurationError("migrations_per_step must be >= 0")
+        self.migrations_per_step = migrations_per_step
+        self._rng = np.random.default_rng(seed)
+
+    def decide(self, observation: Observation) -> List[Migration]:
+        datacenter = observation.datacenter
+        placed = [
+            vm.vm_id
+            for vm in datacenter.vms
+            if datacenter.is_placed(vm.vm_id)
+        ]
+        if not placed or self.migrations_per_step == 0:
+            return []
+        migrations: List[Migration] = []
+        for _ in range(self.migrations_per_step):
+            vm_id = int(self._rng.choice(placed))
+            current = datacenter.host_of(vm_id)
+            options = [
+                pm.pm_id
+                for pm in datacenter.pms
+                if pm.pm_id != current and datacenter.fits(vm_id, pm.pm_id)
+            ]
+            if not options:
+                continue
+            dest = int(self._rng.choice(options))
+            migrations.append(Migration(vm_id=vm_id, dest_pm_id=dest))
+        return migrations

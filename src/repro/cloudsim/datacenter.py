@@ -1,0 +1,272 @@
+"""Data-center placement bookkeeping and CPU capacity sharing.
+
+The :class:`Datacenter` owns the VM→PM placement map, enforces RAM
+feasibility on placement, and computes per-step delivered CPU: when a
+host's aggregate demand exceeds its capacity, every VM on it is scaled
+down proportionally (fair sharing), which is what makes hosts "overloaded"
+in the SLA sense of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.vm import VirtualMachine
+from repro.errors import CapacityError, UnknownEntityError
+
+
+class Datacenter:
+    """Placement map over a fleet of PMs and VMs.
+
+    Args:
+        pms: the physical machines, with dense ids ``0..M-1``.
+        vms: the virtual machines, with dense ids ``0..N-1``.
+
+    The data center starts with every VM unplaced; use
+    :meth:`place` (or an allocation policy from
+    :mod:`repro.cloudsim.allocation`) to build the initial configuration.
+    """
+
+    def __init__(
+        self, pms: Sequence[PhysicalMachine], vms: Sequence[VirtualMachine]
+    ) -> None:
+        self._pms: List[PhysicalMachine] = list(pms)
+        self._vms: List[VirtualMachine] = list(vms)
+        self._check_dense_ids()
+        self._host_of: Dict[int, int] = {}
+        self._vms_on: Dict[int, Set[int]] = {pm.pm_id: set() for pm in self._pms}
+
+    def _check_dense_ids(self) -> None:
+        pm_ids = sorted(pm.pm_id for pm in self._pms)
+        vm_ids = sorted(vm.vm_id for vm in self._vms)
+        if pm_ids != list(range(len(self._pms))):
+            raise UnknownEntityError("PM ids must be dense 0..M-1")
+        if vm_ids != list(range(len(self._vms))):
+            raise UnknownEntityError("VM ids must be dense 0..N-1")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pms(self) -> int:
+        return len(self._pms)
+
+    @property
+    def num_vms(self) -> int:
+        return len(self._vms)
+
+    @property
+    def pms(self) -> Sequence[PhysicalMachine]:
+        return tuple(self._pms)
+
+    @property
+    def vms(self) -> Sequence[VirtualMachine]:
+        return tuple(self._vms)
+
+    def pm(self, pm_id: int) -> PhysicalMachine:
+        """Return the PM with the given id."""
+        if not 0 <= pm_id < len(self._pms):
+            raise UnknownEntityError(f"no PM with id {pm_id}")
+        return self._pms[pm_id]
+
+    def vm(self, vm_id: int) -> VirtualMachine:
+        """Return the VM with the given id."""
+        if not 0 <= vm_id < len(self._vms):
+            raise UnknownEntityError(f"no VM with id {vm_id}")
+        return self._vms[vm_id]
+
+    def host_of(self, vm_id: int) -> Optional[int]:
+        """PM id hosting the VM, or ``None`` if unplaced."""
+        self.vm(vm_id)
+        return self._host_of.get(vm_id)
+
+    def vms_on(self, pm_id: int) -> Set[int]:
+        """Ids of the VMs currently placed on the PM (a copy)."""
+        self.pm(pm_id)
+        return set(self._vms_on[pm_id])
+
+    def placement(self) -> Dict[int, int]:
+        """Full VM→PM map (a copy)."""
+        return dict(self._host_of)
+
+    def is_placed(self, vm_id: int) -> bool:
+        return vm_id in self._host_of
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    def ram_used_mb(self, pm_id: int) -> float:
+        """RAM committed to VMs on the host."""
+        return sum(self._vms[j].ram_mb for j in self._vms_on[pm_id])
+
+    def ram_free_mb(self, pm_id: int) -> float:
+        """RAM still available on the host."""
+        return self.pm(pm_id).ram_mb - self.ram_used_mb(pm_id)
+
+    def demanded_mips(self, pm_id: int) -> float:
+        """Aggregate MIPS demanded by workloads on the host this step."""
+        return sum(self._vms[j].demanded_mips for j in self._vms_on[pm_id])
+
+    def demanded_utilization(self, pm_id: int) -> float:
+        """Demanded load as a fraction of host capacity (can exceed 1)."""
+        return self.demanded_mips(pm_id) / self.pm(pm_id).mips
+
+    def delivered_utilization(self, pm_id: int) -> float:
+        """Delivered load fraction after fair sharing (capped at 1)."""
+        delivered = sum(
+            self._vms[j].delivered_mips for j in self._vms_on[pm_id]
+        )
+        return min(1.0, delivered / self.pm(pm_id).mips)
+
+    def fits(self, vm_id: int, pm_id: int) -> bool:
+        """Whether the VM's RAM reservation fits on the host right now."""
+        vm = self.vm(vm_id)
+        if self.host_of(vm_id) == pm_id:
+            return True
+        return vm.ram_mb <= self.ram_free_mb(pm_id)
+
+    def active_pm_ids(self) -> List[int]:
+        """Hosts that currently serve at least one VM."""
+        return [pm_id for pm_id, vms in self._vms_on.items() if vms]
+
+    def num_active_hosts(self) -> int:
+        """Count of hosts serving at least one VM."""
+        return len(self.active_pm_ids())
+
+    # ------------------------------------------------------------------
+    # Placement mutation
+    # ------------------------------------------------------------------
+    def place(self, vm_id: int, pm_id: int) -> None:
+        """Place an unplaced VM on a host, waking the host if needed."""
+        vm = self.vm(vm_id)
+        pm = self.pm(pm_id)
+        if vm_id in self._host_of:
+            raise CapacityError(
+                f"VM {vm_id} is already placed on PM {self._host_of[vm_id]}"
+            )
+        if vm.ram_mb > self.ram_free_mb(pm_id):
+            raise CapacityError(
+                f"VM {vm_id} ({vm.ram_mb} MB) does not fit on PM {pm_id} "
+                f"({self.ram_free_mb(pm_id)} MB free)"
+            )
+        pm.wake()
+        self._host_of[vm_id] = pm_id
+        self._vms_on[pm_id].add(vm_id)
+
+    def remove(self, vm_id: int) -> int:
+        """Unplace a VM; returns the PM id it was removed from."""
+        if vm_id not in self._host_of:
+            raise UnknownEntityError(f"VM {vm_id} is not placed")
+        pm_id = self._host_of.pop(vm_id)
+        self._vms_on[pm_id].discard(vm_id)
+        return pm_id
+
+    def move(self, vm_id: int, dest_pm_id: int) -> int:
+        """Relocate a VM; returns the source PM id.
+
+        Raises :class:`CapacityError` if the destination lacks RAM.  A
+        move to the VM's current host is a no-op.
+        """
+        source = self.host_of(vm_id)
+        if source is None:
+            raise UnknownEntityError(f"VM {vm_id} is not placed")
+        if source == dest_pm_id:
+            return source
+        if not self.fits(vm_id, dest_pm_id):
+            raise CapacityError(
+                f"VM {vm_id} does not fit on PM {dest_pm_id}"
+            )
+        self.remove(vm_id)
+        self.place(vm_id, dest_pm_id)
+        return source
+
+    def sleep_idle_hosts(self) -> List[int]:
+        """Put every empty host to sleep; returns the ids put to sleep."""
+        slept = []
+        for pm in self._pms:
+            if not self._vms_on[pm.pm_id] and not pm.asleep:
+                pm.sleep()
+                slept.append(pm.pm_id)
+        return slept
+
+    # ------------------------------------------------------------------
+    # CPU sharing
+    # ------------------------------------------------------------------
+    def share_cpu(self, migrating_vm_ids: Iterable[int] = ()) -> None:
+        """Compute delivered utilization for every VM this step.
+
+        Each host grants demand in full when total demand fits its
+        capacity, and scales all demands by ``capacity / demand``
+        otherwise (proportional fair sharing).  VMs in ``migrating_vm_ids``
+        additionally lose ``migration_overhead`` of their demand — applied
+        by the :class:`repro.cloudsim.migration.MigrationEngine`, which
+        passes in-flight VMs here.
+        """
+        migrating = set(migrating_vm_ids)
+        for pm in self._pms:
+            hosted = self._vms_on[pm.pm_id]
+            if not hosted:
+                continue
+            total_demand = sum(self._vms[j].demanded_mips for j in hosted)
+            if total_demand <= pm.mips or total_demand == 0.0:
+                scale = 1.0
+            else:
+                scale = pm.mips / total_demand
+            for j in hosted:
+                vm = self._vms[j]
+                delivered = vm.demanded_utilization * scale
+                vm.delivered_utilization = delivered
+        # Unplaced VMs receive nothing.
+        for vm in self._vms:
+            if vm.vm_id not in self._host_of:
+                vm.delivered_utilization = 0.0
+        # ``migrating`` overhead is charged by the migration engine via
+        # apply_migration_overhead; the parameter is accepted here for
+        # callers that want one-shot sharing.
+        if migrating:
+            self.apply_migration_overhead(migrating)
+
+    def apply_migration_overhead(
+        self, vm_ids: Iterable[int], overhead_fraction: float = 0.10
+    ) -> None:
+        """Reduce delivered CPU of in-flight VMs by the migration overhead."""
+        for vm_id in vm_ids:
+            vm = self.vm(vm_id)
+            vm.delivered_utilization *= 1.0 - overhead_fraction
+
+    def is_overloaded(self, pm_id: int, beta: float) -> bool:
+        """Whether the host's demanded load exceeds the ``beta`` threshold."""
+        return self.demanded_utilization(pm_id) > beta
+
+    def bandwidth_demanded_mbps(self, pm_id: int) -> float:
+        """Aggregate network bandwidth demanded on the host this step."""
+        return sum(
+            self._vms[j].demanded_bandwidth_mbps for j in self._vms_on[pm_id]
+        )
+
+    def bandwidth_demanded_utilization(self, pm_id: int) -> float:
+        """Demanded network load as a fraction of host link capacity."""
+        return self.bandwidth_demanded_mbps(pm_id) / self.pm(pm_id).bandwidth_mbps
+
+    def is_bandwidth_overloaded(self, pm_id: int, threshold: float) -> bool:
+        """Whether the host's network demand exceeds ``threshold``."""
+        return self.bandwidth_demanded_utilization(pm_id) > threshold
+
+    def overloaded_pm_ids(
+        self, beta: float, bandwidth_threshold: Optional[float] = None
+    ) -> List[int]:
+        """Hosts overloaded on CPU — or, when ``bandwidth_threshold`` is
+        given, on the network dimension as well (multi-resource mode)."""
+        overloaded = []
+        for pm in self._pms:
+            if not self._vms_on[pm.pm_id]:
+                continue
+            if self.is_overloaded(pm.pm_id, beta) or (
+                bandwidth_threshold is not None
+                and self.is_bandwidth_overloaded(
+                    pm.pm_id, bandwidth_threshold
+                )
+            ):
+                overloaded.append(pm.pm_id)
+        return overloaded

@@ -1,0 +1,223 @@
+"""Host-failure injection.
+
+Real fleets lose hosts; a credible scheduler must cope with the fleet
+shrinking under it.  :class:`FaultInjector` drives scripted or random
+host failures and repairs through the simulation:
+
+* on **failure**, the host's VMs crash off it and are emergency-replaced
+  (first-fit over surviving hosts) — each displaced VM is charged a full
+  observation interval of downtime (crash-restart, not live migration);
+  VMs that fit nowhere stay unplaced (fully down) until capacity returns;
+* while a host is **down**, it is excluded from placement: schedulers'
+  migrations into it are rejected by the engine's capacity checks since
+  the host is marked failed;
+* on **repair**, the host rejoins empty and awake.
+
+The injector composes with any scheduler; the integration tests assert
+that the simulator's invariants (RAM capacity, placement consistency)
+survive failures and that schedulers resume normal operation afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.errors import CapacityError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A scripted fault: host ``pm_id`` fails at ``fail_step`` and is
+    repaired at ``repair_step`` (exclusive; ``None`` = never)."""
+
+    pm_id: int
+    fail_step: int
+    repair_step: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.fail_step < 0:
+            raise ConfigurationError("fail_step must be >= 0")
+        if self.repair_step is not None and self.repair_step <= self.fail_step:
+            raise ConfigurationError("repair must come after the failure")
+
+
+@dataclass
+class FaultReport:
+    """What the injector did at one step."""
+
+    failed_pms: List[int] = field(default_factory=list)
+    repaired_pms: List[int] = field(default_factory=list)
+    displaced_vms: List[int] = field(default_factory=list)
+    stranded_vms: List[int] = field(default_factory=list)
+
+    @property
+    def any_activity(self) -> bool:
+        return bool(
+            self.failed_pms
+            or self.repaired_pms
+            or self.displaced_vms
+            or self.stranded_vms
+        )
+
+
+class FaultInjector:
+    """Applies scripted (or random) host failures to a data center.
+
+    Args:
+        events: scripted failures.  For random injection use
+            :meth:`random_schedule`.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self._events = list(events)
+        seen: Dict[int, List[FaultEvent]] = {}
+        for event in self._events:
+            seen.setdefault(event.pm_id, []).append(event)
+        for pm_id, pm_events in seen.items():
+            pm_events.sort(key=lambda e: e.fail_step)
+            for before, after in zip(pm_events, pm_events[1:]):
+                if before.repair_step is None or (
+                    after.fail_step < before.repair_step
+                ):
+                    raise ConfigurationError(
+                        f"overlapping fault events for PM {pm_id}"
+                    )
+        self._down: Set[int] = set()
+        #: VMs with no home, waiting for capacity (VM id order retried).
+        self._stranded: Set[int] = set()
+
+    @classmethod
+    def random_schedule(
+        cls,
+        num_pms: int,
+        num_steps: int,
+        failure_probability: float = 0.001,
+        mean_repair_steps: float = 12.0,
+        seed: int = 0,
+    ) -> "FaultInjector":
+        """Draw failures per host-step with geometric repair times."""
+        if not 0 <= failure_probability <= 1:
+            raise ConfigurationError("failure probability must be in [0, 1]")
+        if mean_repair_steps < 1:
+            raise ConfigurationError("mean repair must be >= 1 step")
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        for pm_id in range(num_pms):
+            step = 0
+            while step < num_steps:
+                if rng.random() < failure_probability:
+                    duration = 1 + int(
+                        rng.geometric(1.0 / mean_repair_steps)
+                    )
+                    events.append(
+                        FaultEvent(
+                            pm_id=pm_id,
+                            fail_step=step,
+                            repair_step=min(step + duration, num_steps + 1),
+                        )
+                    )
+                    step += duration
+                step += 1
+        return cls(events)
+
+    @property
+    def down_pm_ids(self) -> Set[int]:
+        return set(self._down)
+
+    @property
+    def stranded_vm_ids(self) -> Set[int]:
+        return set(self._stranded)
+
+    def is_down(self, pm_id: int) -> bool:
+        return pm_id in self._down
+
+    def apply_step(self, datacenter: Datacenter, step: int) -> FaultReport:
+        """Apply this step's failures/repairs; returns what happened.
+
+        Call once per interval *before* the scheduler decides, so the
+        scheduler observes the post-fault fleet.
+        """
+        report = FaultReport()
+        for event in self._events:
+            if event.repair_step == step and event.pm_id in self._down:
+                self._down.discard(event.pm_id)
+                datacenter.pm(event.pm_id).wake()
+                report.repaired_pms.append(event.pm_id)
+        for event in self._events:
+            if event.fail_step == step and event.pm_id not in self._down:
+                self._down.add(event.pm_id)
+                report.failed_pms.append(event.pm_id)
+                self._evacuate(datacenter, event.pm_id, report)
+        self._retry_stranded(datacenter, report)
+        return report
+
+    def _evacuate(
+        self, datacenter: Datacenter, pm_id: int, report: FaultReport
+    ) -> None:
+        for vm_id in sorted(datacenter.vms_on(pm_id)):
+            datacenter.remove(vm_id)
+            if self._emergency_place(datacenter, vm_id):
+                report.displaced_vms.append(vm_id)
+            else:
+                self._stranded.add(vm_id)
+                report.stranded_vms.append(vm_id)
+        # A failed host cannot serve anything; park it asleep so it draws
+        # no power and trips no placements.
+        datacenter.pm(pm_id).sleep()
+
+    def _emergency_place(self, datacenter: Datacenter, vm_id: int) -> bool:
+        for pm in datacenter.pms:
+            if pm.pm_id in self._down:
+                continue
+            try:
+                datacenter.place(vm_id, pm.pm_id)
+                return True
+            except CapacityError:
+                continue
+        return False
+
+    def _retry_stranded(
+        self, datacenter: Datacenter, report: FaultReport
+    ) -> None:
+        for vm_id in sorted(self._stranded):
+            if self._emergency_place(datacenter, vm_id):
+                self._stranded.discard(vm_id)
+                report.displaced_vms.append(vm_id)
+
+    def filter_migrations(self, migrations, datacenter: Datacenter):
+        """Drop scheduler migrations that target a failed host."""
+        return [
+            migration
+            for migration in migrations
+            if migration.dest_pm_id not in self._down
+        ]
+
+
+class FaultTolerantScheduler:
+    """Wrapper composing a fault injector with any scheduler.
+
+    Applies the step's faults before delegating and filters decisions
+    targeting failed hosts.  A VM stranded with no host is invisible to
+    the SLA accountant while down (it sits on no host); its outage is
+    visible in the injector's :class:`FaultReport` stream instead.
+    """
+
+    def __init__(self, scheduler, injector: FaultInjector) -> None:
+        self.scheduler = scheduler
+        self.injector = injector
+        self.name = f"{scheduler.name}+faults"
+        self.reports: List[FaultReport] = []
+
+    def decide(self, observation):
+        report = self.injector.apply_step(
+            observation.datacenter, observation.step
+        )
+        self.reports.append(report)
+        migrations = self.scheduler.decide(observation)
+        return self.injector.filter_migrations(
+            migrations, observation.datacenter
+        )

@@ -1,0 +1,114 @@
+"""VMM-style utilization monitoring.
+
+The paper's global resource manager receives workload dynamics from the
+per-host VMMs.  :class:`UtilizationMonitor` plays that role: it keeps a
+bounded history of per-VM and per-host utilization samples, which the MMT
+detectors (IQR/MAD/LR/LRR) and the learning schedulers consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Sequence
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.errors import ConfigurationError
+
+
+class UtilizationMonitor:
+    """Rolling history of demanded utilization per VM and per host.
+
+    Args:
+        history_length: number of most-recent samples retained per entity.
+            The Beloglazov heuristics use windows of 10–12 samples.
+    """
+
+    def __init__(self, history_length: int = 12) -> None:
+        if history_length < 1:
+            raise ConfigurationError("history_length must be >= 1")
+        self._length = history_length
+        self._vm_history: Dict[int, Deque[float]] = {}
+        self._host_history: Dict[int, Deque[float]] = {}
+        self._steps_observed = 0
+
+    @property
+    def history_length(self) -> int:
+        return self._length
+
+    @property
+    def steps_observed(self) -> int:
+        return self._steps_observed
+
+    def observe(self, datacenter: Datacenter) -> None:
+        """Record one sample for every VM and every host."""
+        for vm in datacenter.vms:
+            self._vm_history.setdefault(
+                vm.vm_id, deque(maxlen=self._length)
+            ).append(vm.demanded_utilization)
+        for pm in datacenter.pms:
+            self._host_history.setdefault(
+                pm.pm_id, deque(maxlen=self._length)
+            ).append(datacenter.demanded_utilization(pm.pm_id))
+        self._steps_observed += 1
+
+    def vm_history(self, vm_id: int) -> List[float]:
+        """Most-recent demanded-utilization samples for a VM (oldest first)."""
+        return list(self._vm_history.get(vm_id, ()))
+
+    def host_history(self, pm_id: int) -> List[float]:
+        """Most-recent demanded-utilization samples for a host."""
+        return list(self._host_history.get(pm_id, ()))
+
+    def host_histories(self) -> Dict[int, List[float]]:
+        """Snapshot of all host histories."""
+        return {pm_id: list(h) for pm_id, h in self._host_history.items()}
+
+    def last_host_utilization(self, pm_id: int, default: float = 0.0) -> float:
+        history = self._host_history.get(pm_id)
+        if not history:
+            return default
+        return history[-1]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def interquartile_range(values: Sequence[float]) -> float:
+    """IQR via the inclusive quartile method; 0 for fewer than 2 samples."""
+    if len(values) < 2:
+        return 0.0
+    ordered = sorted(values)
+    return _quantile(ordered, 0.75) - _quantile(ordered, 0.25)
+
+
+def median_absolute_deviation(values: Sequence[float]) -> float:
+    """MAD about the median; 0 for an empty sequence."""
+    if not values:
+        return 0.0
+    center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    frac = position - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac

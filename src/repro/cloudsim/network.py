@@ -1,0 +1,205 @@
+"""Data-center network topologies (the paper's Section-7 extension).
+
+The paper's conclusion names leveraging network topology — fat-trees in
+particular — as the planned extension, arguing network awareness "can be
+seamlessly accommodated without modifying [Megh] algorithmically".  This
+module provides that substrate: topologies map a PM pair to an effective
+migration-path bandwidth and hop count, and the migration engine consumes
+them so that cross-pod migrations take longer (and therefore degrade VMs
+longer) than rack-local ones.  Megh then learns to prefer nearby
+destinations purely from the cost signal.
+
+Implemented topologies:
+
+* :class:`FlatNetwork` — every pair connected at full host-link speed
+  (the paper's baseline assumption);
+* :class:`StarNetwork` — one core switch, per-host uplinks;
+* :class:`FatTreeTopology` — the classic k-ary fat-tree of Leiserson
+  (paper reference [49]): hosts grouped under edge switches inside pods,
+  with configurable per-level oversubscription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class NetworkTopology(Protocol):
+    """Maps host pairs to migration-path properties."""
+
+    def path_bandwidth_mbps(self, src_pm: int, dst_pm: int) -> float:
+        """Effective bandwidth of the migration path, in Mbit/s."""
+        ...
+
+    def hop_count(self, src_pm: int, dst_pm: int) -> int:
+        """Switch hops between the hosts (0 for the same host)."""
+        ...
+
+
+@dataclass(frozen=True)
+class FlatNetwork:
+    """Idealized non-blocking fabric: full link speed between any pair."""
+
+    link_bandwidth_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_mbps <= 0:
+            raise ConfigurationError("link bandwidth must be > 0")
+
+    def path_bandwidth_mbps(self, src_pm: int, dst_pm: int) -> float:
+        if src_pm == dst_pm:
+            return float("inf")
+        return self.link_bandwidth_mbps
+
+    def hop_count(self, src_pm: int, dst_pm: int) -> int:
+        return 0 if src_pm == dst_pm else 1
+
+
+@dataclass(frozen=True)
+class StarNetwork:
+    """All hosts hang off one core switch.
+
+    The path crosses two host uplinks; its bandwidth is the uplink speed
+    (the core is assumed non-blocking).
+    """
+
+    uplink_bandwidth_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.uplink_bandwidth_mbps <= 0:
+            raise ConfigurationError("uplink bandwidth must be > 0")
+
+    def path_bandwidth_mbps(self, src_pm: int, dst_pm: int) -> float:
+        if src_pm == dst_pm:
+            return float("inf")
+        return self.uplink_bandwidth_mbps
+
+    def hop_count(self, src_pm: int, dst_pm: int) -> int:
+        return 0 if src_pm == dst_pm else 2
+
+
+class FatTreeTopology:
+    """A k-ary fat-tree with per-level oversubscription.
+
+    Hosts are assigned to positions in pm_id order: ``k/2`` hosts per
+    edge switch, ``k/2`` edge switches per pod, ``k`` pods — so up to
+    ``k^3 / 4`` hosts.  Path classes and their effective bandwidths:
+
+    * same edge switch (2 hops): full edge link speed;
+    * same pod (4 hops): edge speed divided by the edge-level
+      oversubscription factor;
+    * across pods (6 hops): divided by edge- times aggregation-level
+      oversubscription.
+
+    Args:
+        k: fat-tree arity (even, >= 2).
+        edge_bandwidth_mbps: host-to-edge link speed.
+        edge_oversubscription: ratio of downlink to uplink capacity at
+            edge switches (1.0 = non-blocking, Leiserson's ideal).
+        aggregation_oversubscription: same at the aggregation level.
+    """
+
+    def __init__(
+        self,
+        k: int = 4,
+        edge_bandwidth_mbps: float = 1000.0,
+        edge_oversubscription: float = 1.0,
+        aggregation_oversubscription: float = 1.0,
+    ) -> None:
+        if k < 2 or k % 2 != 0:
+            raise ConfigurationError("fat-tree arity k must be even and >= 2")
+        if edge_bandwidth_mbps <= 0:
+            raise ConfigurationError("edge bandwidth must be > 0")
+        if edge_oversubscription < 1.0 or aggregation_oversubscription < 1.0:
+            raise ConfigurationError("oversubscription factors must be >= 1")
+        self.k = k
+        self.edge_bandwidth_mbps = edge_bandwidth_mbps
+        self.edge_oversubscription = edge_oversubscription
+        self.aggregation_oversubscription = aggregation_oversubscription
+
+    @property
+    def hosts_per_edge(self) -> int:
+        return self.k // 2
+
+    @property
+    def hosts_per_pod(self) -> int:
+        return (self.k // 2) ** 2
+
+    @property
+    def max_hosts(self) -> int:
+        """Capacity of the tree: ``k^3 / 4`` hosts."""
+        return self.k**3 // 4
+
+    def _check_host(self, pm_id: int) -> None:
+        if not 0 <= pm_id < self.max_hosts:
+            raise ConfigurationError(
+                f"pm_id {pm_id} exceeds the k={self.k} fat-tree capacity "
+                f"of {self.max_hosts} hosts"
+            )
+
+    def edge_of(self, pm_id: int) -> int:
+        """Global index of the host's edge switch."""
+        self._check_host(pm_id)
+        return pm_id // self.hosts_per_edge
+
+    def pod_of(self, pm_id: int) -> int:
+        """Index of the host's pod."""
+        self._check_host(pm_id)
+        return pm_id // self.hosts_per_pod
+
+    def hop_count(self, src_pm: int, dst_pm: int) -> int:
+        self._check_host(src_pm)
+        self._check_host(dst_pm)
+        if src_pm == dst_pm:
+            return 0
+        if self.edge_of(src_pm) == self.edge_of(dst_pm):
+            return 2  # up to the edge switch and down
+        if self.pod_of(src_pm) == self.pod_of(dst_pm):
+            return 4  # edge -> aggregation -> edge
+        return 6  # edge -> aggregation -> core -> aggregation -> edge
+
+    def path_bandwidth_mbps(self, src_pm: int, dst_pm: int) -> float:
+        hops = self.hop_count(src_pm, dst_pm)
+        if hops == 0:
+            return float("inf")
+        bandwidth = self.edge_bandwidth_mbps
+        if hops >= 4:
+            bandwidth /= self.edge_oversubscription
+        if hops >= 6:
+            bandwidth /= self.aggregation_oversubscription
+        return bandwidth
+
+
+def migration_seconds(
+    topology: NetworkTopology, ram_mb: float, src_pm: int, dst_pm: int
+) -> float:
+    """Live-migration transfer time over the topology path (``TM = M/B``)."""
+    if ram_mb <= 0:
+        raise ConfigurationError("ram must be > 0")
+    bandwidth = topology.path_bandwidth_mbps(src_pm, dst_pm)
+    if bandwidth == float("inf"):
+        return 0.0
+    return ram_mb * 8.0 / bandwidth
+
+
+def traffic_cost_usd(
+    topology: NetworkTopology,
+    ram_mb: float,
+    src_pm: int,
+    dst_pm: int,
+    usd_per_gb_hop: float,
+) -> float:
+    """Optional network-traffic cost: bytes moved x hops x price.
+
+    The paper's cost model is modular ("one can build cost models for
+    these resources and add them as additional modules"); this is such a
+    module for migration traffic.
+    """
+    if usd_per_gb_hop < 0:
+        raise ConfigurationError("price must be >= 0")
+    gigabytes = ram_mb / 1024.0
+    return gigabytes * topology.hop_count(src_pm, dst_pm) * usd_per_gb_hop

@@ -1,0 +1,60 @@
+"""Physical machine (host) model.
+
+A :class:`PhysicalMachine` aggregates CPU capacity (the paper folds all
+cores of a host into one logical CPU with their cumulative MIPS), RAM, and
+a power model.  Placement bookkeeping lives in
+:class:`repro.cloudsim.datacenter.Datacenter`; the PM itself only knows its
+capacities and power curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloudsim.power import PowerModel
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PhysicalMachine:
+    """A host in the data center.
+
+    Attributes:
+        pm_id: unique integer identifier, dense in ``[0, M)``.
+        mips: cumulative CPU capacity of all cores.
+        ram_mb: RAM capacity in megabytes.
+        bandwidth_mbps: network bandwidth in megabits per second.
+        power_model: maps CPU utilization to watts.
+        asleep: a sleeping host consumes no power and hosts no VMs.
+    """
+
+    pm_id: int
+    mips: float
+    ram_mb: float
+    bandwidth_mbps: float
+    power_model: PowerModel
+    asleep: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.pm_id < 0:
+            raise ConfigurationError("pm_id must be >= 0")
+        if self.mips <= 0:
+            raise ConfigurationError("PM mips must be > 0")
+        if self.ram_mb <= 0:
+            raise ConfigurationError("PM ram must be > 0")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("PM bandwidth must be > 0")
+
+    def power(self, utilization: float) -> float:
+        """Instantaneous power draw at ``utilization``; 0 W while asleep."""
+        if self.asleep:
+            return 0.0
+        return self.power_model.power(utilization)
+
+    def sleep(self) -> None:
+        """Put the host into its zero-power sleep state."""
+        self.asleep = True
+
+    def wake(self) -> None:
+        """Wake the host so it can serve VMs again."""
+        self.asleep = False

@@ -1,0 +1,94 @@
+"""Pre-copy live-migration model.
+
+The paper (following Clark et al., its reference [4]) models migration
+time as a single transfer ``TM = M/B``.  Real pre-copy live migration is
+iterative: the full RAM is copied while the VM keeps dirtying pages, then
+successively smaller dirty sets are copied, and a final brief
+*stop-and-copy* round transfers the residue — that residue transfer is
+the true downtime.  This module implements that model; the migration
+engine can use it instead of the single-shot transfer
+(``SimulationConfig.datacenter`` is untouched — pass a
+:class:`PrecopyModel` to :class:`~repro.cloudsim.migration.MigrationEngine`).
+
+With dirty rate ``D`` (MB/s) and bandwidth ``B`` (MB/s), round ``i``'s
+transfer size is ``M * (D/B)^i``: convergent when ``D < B``, divergent
+otherwise (the model then forces stop-and-copy after ``max_rounds``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PrecopyOutcome:
+    """Result of a modelled pre-copy migration."""
+
+    total_seconds: float
+    downtime_seconds: float
+    rounds: int
+    residual_mb: float
+
+
+@dataclass(frozen=True)
+class PrecopyModel:
+    """Iterative pre-copy transfer model.
+
+    Attributes:
+        dirty_rate_mbps: page-dirtying rate in megabits per second
+            (applied while the VM runs during the copy rounds).
+        stop_threshold_mb: residue small enough to stop-and-copy.
+        max_rounds: forced stop-and-copy after this many rounds (keeps
+            divergent migrations bounded).
+    """
+
+    dirty_rate_mbps: float = 100.0
+    stop_threshold_mb: float = 8.0
+    max_rounds: int = 30
+
+    def __post_init__(self) -> None:
+        if self.dirty_rate_mbps < 0:
+            raise ConfigurationError("dirty rate must be >= 0")
+        if self.stop_threshold_mb <= 0:
+            raise ConfigurationError("stop threshold must be > 0")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max rounds must be >= 1")
+
+    def transfer(
+        self, ram_mb: float, bandwidth_mbps: float
+    ) -> PrecopyOutcome:
+        """Model one migration; returns timing and the downtime residue."""
+        if ram_mb <= 0:
+            raise ConfigurationError("ram must be > 0")
+        if bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be > 0")
+        bandwidth_mb_per_s = bandwidth_mbps / 8.0
+        dirty_mb_per_s = self.dirty_rate_mbps / 8.0
+        remaining = ram_mb
+        total_seconds = 0.0
+        rounds = 0
+        while rounds < self.max_rounds and remaining > self.stop_threshold_mb:
+            round_seconds = remaining / bandwidth_mb_per_s
+            total_seconds += round_seconds
+            rounds += 1
+            dirtied = dirty_mb_per_s * round_seconds
+            remaining = min(ram_mb, dirtied)
+            if dirty_mb_per_s >= bandwidth_mb_per_s:
+                # Divergent: further rounds cannot shrink the residue.
+                break
+        downtime = remaining / bandwidth_mb_per_s
+        total_seconds += downtime
+        return PrecopyOutcome(
+            total_seconds=total_seconds,
+            downtime_seconds=downtime,
+            rounds=rounds,
+            residual_mb=remaining,
+        )
+
+    def convergence_ratio(self, bandwidth_mbps: float) -> float:
+        """``D/B`` — below 1 the rounds shrink geometrically."""
+        if bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be > 0")
+        return self.dirty_rate_mbps / bandwidth_mbps

@@ -1,0 +1,345 @@
+"""Simulation driver: replays a workload against a scheduler.
+
+Each observation interval (``tau`` seconds, 300 by default):
+
+1. the workload sets every VM's demanded utilization;
+2. the monitor records histories (the VMM feed of Section 3.1);
+3. the scheduler is invoked (and timed) on an :class:`Observation`;
+4. its migrations start — the migration engine rejects infeasible ones;
+5. CPU is shared, migration overhead charged, in-flight transfers advance;
+6. SLA counters and the Eq. (6) step cost are updated;
+7. idle hosts go to sleep.
+
+The loop mirrors CloudSim's power-aware example driver, which the paper's
+experiments are built on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.metrics import MetricsCollector, StepMetrics
+from repro.cloudsim.migration import MigrationEngine
+from repro.cloudsim.monitor import UtilizationMonitor
+from repro.cloudsim.sla import SlaAccountant
+from repro.config import SimulationConfig
+from repro.costs.model import OperationCostModel
+from repro.errors import CapacityError, ConfigurationError, SchedulerError
+from repro.mdp.interfaces import Observation, Scheduler
+from repro.mdp.state import observe_state
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during a run."""
+
+    scheduler_name: str
+    metrics: MetricsCollector
+    sla: SlaAccountant
+    config: SimulationConfig
+    num_pms: int
+    num_vms: int
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.metrics.total_cost_usd
+
+    @property
+    def total_migrations(self) -> int:
+        return self.metrics.total_migrations
+
+    @property
+    def mean_active_hosts(self) -> float:
+        return self.metrics.mean_active_hosts
+
+    @property
+    def mean_scheduler_ms(self) -> float:
+        return self.metrics.mean_scheduler_milliseconds
+
+    def summary(self) -> str:
+        """Table-2-style one-block summary of the run."""
+        lines = [
+            f"scheduler        : {self.scheduler_name}",
+            f"fleet            : {self.num_pms} PMs / {self.num_vms} VMs, "
+            f"{len(self.metrics.steps)} steps",
+            f"total cost (USD) : {self.total_cost_usd:.2f}",
+            f"  energy (USD)   : {self.metrics.total_energy_cost_usd:.2f}",
+            f"  SLA (USD)      : {self.metrics.total_sla_cost_usd:.2f}",
+            f"#VM migrations   : {self.total_migrations}",
+            f"avg active hosts : {self.mean_active_hosts:.1f}",
+            f"exec time (ms)   : {self.mean_scheduler_ms:.3f}",
+            f"SLA violation    : {self.sla.overall_sla_violation():.5%}",
+        ]
+        return "\n".join(lines)
+
+
+class Simulation:
+    """Binds a workload to a data center and runs schedulers against it.
+
+    Args:
+        datacenter: the (already initially-placed) data center.
+        workload: per-VM utilization trace; must cover every VM.
+        config: simulation parameters.
+        monitor_history: samples kept per entity for the VMM histories.
+    """
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        workload: Workload,
+        config: Optional[SimulationConfig] = None,
+        monitor_history: int = 12,
+        topology=None,
+        dynamic_provisioning: bool = False,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        if workload.num_vms < datacenter.num_vms:
+            raise ConfigurationError(
+                f"workload covers {workload.num_vms} VMs but the data center "
+                f"has {datacenter.num_vms}"
+            )
+        if workload.num_steps < self.config.num_steps:
+            raise ConfigurationError(
+                f"workload has {workload.num_steps} steps but the run needs "
+                f"{self.config.num_steps}"
+            )
+        self.datacenter = datacenter
+        self.workload = workload
+        self.topology = topology
+        #: With dynamic provisioning, a VM that goes inactive is
+        #: deprovisioned (its RAM reservation freed) and re-placed
+        #: first-fit when its next task arrives — task-based traces then
+        #: exercise the provisioning path instead of holding idle
+        #: reservations.
+        self.dynamic_provisioning = dynamic_provisioning
+        #: VMs awaiting capacity under dynamic provisioning.
+        self.pending_vm_ids: list[int] = []
+        self.monitor = UtilizationMonitor(history_length=monitor_history)
+        self._initial_placement = datacenter.placement()
+
+    def reset(self) -> None:
+        """Restore the initial placement so another scheduler can run."""
+        for vm in self.datacenter.vms:
+            if self.datacenter.is_placed(vm.vm_id):
+                self.datacenter.remove(vm.vm_id)
+            vm.set_active(True)
+            vm.set_demand(0.0)
+            vm.delivered_utilization = 0.0
+        for pm in self.datacenter.pms:
+            pm.wake()
+        for vm_id, pm_id in self._initial_placement.items():
+            self.datacenter.place(vm_id, pm_id)
+        self.pending_vm_ids = []
+        self.monitor = UtilizationMonitor(
+            history_length=self.monitor.history_length
+        )
+
+    def run(
+        self,
+        scheduler: Scheduler,
+        num_steps: Optional[int] = None,
+        cost_model: Optional[OperationCostModel] = None,
+        event_log=None,
+        validate_every_step: bool = False,
+    ) -> SimulationResult:
+        """Run the scheduler for ``num_steps`` intervals (default: config).
+
+        ``cost_model`` swaps in an alternative
+        :class:`~repro.costs.model.OperationCostModel` (e.g. one built on
+        time-of-use electricity or tiered VM pricing from
+        :mod:`repro.costs.dynamic`); it must be freshly constructed, as
+        cost models accumulate state over a run.
+
+        ``event_log`` (an :class:`~repro.cloudsim.events.EventLog`)
+        receives structured migration/overload/sleep events for offline
+        analysis.
+
+        ``validate_every_step`` runs the
+        :mod:`repro.cloudsim.validation` invariant checks after every
+        interval — slow, but catches scheduler/engine bugs at the step
+        that introduced them.
+        """
+        steps = num_steps if num_steps is not None else self.config.num_steps
+        if steps > self.workload.num_steps:
+            raise ConfigurationError(
+                f"requested {steps} steps but the workload has only "
+                f"{self.workload.num_steps}"
+            )
+        dc_config = self.config.datacenter
+        interval = self.config.interval_seconds
+        engine = MigrationEngine(
+            self.datacenter,
+            overhead_fraction=dc_config.migration_overhead_fraction,
+            alpha=dc_config.migration_cpu_threshold,
+            topology=self.topology,
+        )
+        bandwidth_threshold = (
+            dc_config.bandwidth_overload_threshold
+            if dc_config.bandwidth_aware
+            else None
+        )
+        accountant = SlaAccountant(
+            beta=dc_config.overload_threshold,
+            window_seconds=self.config.costs.sla_billing_window_seconds,
+            interval_seconds=interval,
+            bandwidth_threshold=bandwidth_threshold,
+        )
+        if cost_model is None:
+            cost_model = OperationCostModel(self.config.costs)
+        collector = MetricsCollector()
+        last_cost = 0.0
+
+        for step in range(steps):
+            self._apply_workload(step)
+            self.monitor.observe(self.datacenter)
+            observation = Observation(
+                step=step,
+                state=observe_state(self.datacenter, step),
+                datacenter=self.datacenter,
+                monitor=self.monitor,
+                last_step_cost_usd=last_cost,
+                interval_seconds=interval,
+            )
+            started = time.perf_counter()
+            migrations = scheduler.decide(observation)
+            scheduler_seconds = time.perf_counter() - started
+            if migrations is None:
+                raise SchedulerError(
+                    f"{scheduler.name} returned None instead of a list"
+                )
+            outcome = engine.start(migrations)
+            self.datacenter.share_cpu()
+            advance = engine.advance(interval)
+            accountant.observe_step(
+                self.datacenter, interval, advance.downtime_seconds
+            )
+            step_cost = cost_model.step_cost(
+                self.datacenter, accountant, interval
+            )
+            active_hosts = self.datacenter.num_active_hosts()
+            slept = (
+                self.datacenter.sleep_idle_hosts()
+                if dc_config.sleep_idle_hosts
+                else []
+            )
+            overloaded_ids = self.datacenter.overloaded_pm_ids(
+                dc_config.overload_threshold, bandwidth_threshold
+            )
+            overloaded = len(overloaded_ids)
+            if event_log is not None:
+                self._emit_events(
+                    event_log, step, outcome, advance, overloaded_ids, slept
+                )
+            if validate_every_step:
+                from repro.cloudsim.validation import check_invariants
+
+                check_invariants(self.datacenter)
+            mean_util = self._mean_active_host_utilization()
+            collector.record(
+                StepMetrics(
+                    step=step,
+                    energy_cost_usd=step_cost.energy_usd,
+                    sla_cost_usd=step_cost.sla_usd,
+                    num_migrations_started=len(outcome.started),
+                    num_migrations_rejected=len(outcome.rejected),
+                    num_active_hosts=active_hosts,
+                    scheduler_seconds=scheduler_seconds,
+                    mean_host_utilization=mean_util,
+                    num_overloaded_hosts=overloaded,
+                )
+            )
+            last_cost = step_cost.total_usd
+
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            metrics=collector,
+            sla=accountant,
+            config=self.config,
+            num_pms=self.datacenter.num_pms,
+            num_vms=self.datacenter.num_vms,
+        )
+
+    @staticmethod
+    def _emit_events(
+        event_log, step, outcome, advance, overloaded_ids, slept
+    ) -> None:
+        from repro.cloudsim.events import EventKind
+
+        for migration in outcome.started:
+            event_log.emit(
+                step,
+                EventKind.MIGRATION_STARTED,
+                vm_id=migration.vm_id,
+                pm_id=migration.dest_pm_id,
+            )
+        for migration in outcome.rejected:
+            event_log.emit(
+                step,
+                EventKind.MIGRATION_REJECTED,
+                vm_id=migration.vm_id,
+                pm_id=migration.dest_pm_id,
+            )
+        for vm_id in advance.completed:
+            event_log.emit(step, EventKind.MIGRATION_COMPLETED, vm_id=vm_id)
+        for pm_id in overloaded_ids:
+            event_log.emit(step, EventKind.HOST_OVERLOADED, pm_id=pm_id)
+        for pm_id in slept:
+            event_log.emit(step, EventKind.HOST_SLEPT, pm_id=pm_id)
+
+    def _apply_workload(self, step: int) -> None:
+        bandwidth_source = getattr(
+            self.workload, "bandwidth_utilization", None
+        )
+        for vm in self.datacenter.vms:
+            active = self.workload.is_active(vm.vm_id, step)
+            vm.set_active(active)
+            if active:
+                vm.set_demand(self.workload.utilization(vm.vm_id, step))
+                if bandwidth_source is not None:
+                    vm.set_bandwidth_demand(
+                        bandwidth_source(vm.vm_id, step)
+                    )
+        if self.dynamic_provisioning:
+            self._provision(step)
+
+    def _provision(self, step: int) -> None:
+        """Deprovision idle VMs; first-fit newly active (or waiting) ones."""
+        del step
+        for vm in self.datacenter.vms:
+            placed = self.datacenter.is_placed(vm.vm_id)
+            if not vm.is_active and placed:
+                self.datacenter.remove(vm.vm_id)
+            elif vm.is_active and not placed:
+                if vm.vm_id not in self.pending_vm_ids:
+                    self.pending_vm_ids.append(vm.vm_id)
+        still_pending: list[int] = []
+        for vm_id in self.pending_vm_ids:
+            vm = self.datacenter.vm(vm_id)
+            if not vm.is_active:
+                continue  # the task ended while waiting
+            if not self._first_fit(vm_id):
+                still_pending.append(vm_id)
+        self.pending_vm_ids = still_pending
+
+    def _first_fit(self, vm_id: int) -> bool:
+        for pm in self.datacenter.pms:
+            try:
+                self.datacenter.place(vm_id, pm.pm_id)
+                return True
+            except CapacityError:
+                continue
+        return False
+
+    def _mean_active_host_utilization(self) -> float:
+        active = self.datacenter.active_pm_ids()
+        if not active:
+            return 0.0
+        total = sum(
+            min(1.0, self.datacenter.demanded_utilization(pm_id))
+            for pm_id in active
+        )
+        return total / len(active)

@@ -1,0 +1,189 @@
+"""SLA accounting (Section 3.3).
+
+Tracks, per host, the active time ``T_a`` and overload time ``T_o`` (Eq. 4)
+and, per VM, the requested-service time ``T_r`` and the downtime from both
+live migration (Eq. 5) and overloaded hosts — the paper counts the whole
+overloading time of a host against every VM operating on it.
+
+Violation tiers are evaluated on the downtime percentage over a trailing
+*billing window* (default one day).  Real SLAs (Amazon/Google/Azure) are
+settled per billing period; a cumulative-from-genesis percentage would let
+one bad minute at boot dominate a month of good service.  Cumulative
+counters are still kept for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Mapping, Optional, Tuple
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.errors import ConfigurationError
+
+#: Default billing window: two hours of 5-minute intervals.  Short enough
+#: that one overload blip is billed proportionately (not for a whole day),
+#: long enough that sustained churn or chronic overload keeps paying.
+DEFAULT_WINDOW_SECONDS = 7200.0
+
+
+@dataclass
+class HostSlaRecord:
+    """Per-host SLA counters."""
+
+    active_seconds: float = 0.0
+    overload_seconds: float = 0.0
+
+    @property
+    def overload_fraction(self) -> float:
+        """``O_i(t) = T_o / T_a`` (Eq. 4); 0 when never active."""
+        if self.active_seconds == 0.0:
+            return 0.0
+        return self.overload_seconds / self.active_seconds
+
+
+@dataclass
+class VmSlaRecord:
+    """Per-VM SLA counters: cumulative plus a trailing billing window."""
+
+    window_steps: int = 288
+    requested_seconds: float = 0.0
+    migration_downtime_seconds: float = 0.0
+    overload_downtime_seconds: float = 0.0
+    _window: Deque[Tuple[float, float]] = field(default_factory=deque, repr=False)
+
+    def record_step(self, downtime: float, requested: float) -> None:
+        """Append one interval's (downtime, requested) to the window."""
+        self._window.append((downtime, requested))
+        while len(self._window) > self.window_steps:
+            self._window.popleft()
+
+    @property
+    def total_downtime_seconds(self) -> float:
+        return self.migration_downtime_seconds + self.overload_downtime_seconds
+
+    @property
+    def cumulative_downtime_fraction(self) -> float:
+        """Downtime over the VM's whole lifetime."""
+        if self.requested_seconds == 0.0:
+            return 0.0
+        return self.total_downtime_seconds / self.requested_seconds
+
+    @property
+    def downtime_fraction(self) -> float:
+        """Downtime fraction over the trailing billing window.
+
+        This is the quantity the violation tiers of Section 3.3 are keyed
+        on; it recovers once service is restored.
+        """
+        requested = sum(r for _, r in self._window)
+        if requested == 0.0:
+            return 0.0
+        downtime = sum(d for d, _ in self._window)
+        return downtime / requested
+
+
+@dataclass
+class SlaAccountant:
+    """Accumulates overload and downtime statistics step by step.
+
+    Args:
+        beta: host overload threshold (fraction of capacity).
+        window_seconds: billing-window length for the violation tiers.
+        interval_seconds: observation interval (defines window length in
+            steps; defaults to 300 s).
+        bandwidth_threshold: when set, a host whose *network* demand
+            exceeds this fraction is overloaded too (multi-resource
+            mode, see ``DatacenterConfig.bandwidth_aware``).
+    """
+
+    beta: float = 0.70
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    interval_seconds: float = 300.0
+    bandwidth_threshold: Optional[float] = None
+    hosts: Dict[int, HostSlaRecord] = field(default_factory=dict)
+    vms: Dict[int, VmSlaRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beta <= 1:
+            raise ConfigurationError("beta must be in (0, 1]")
+        if self.window_seconds <= 0 or self.interval_seconds <= 0:
+            raise ConfigurationError("window and interval must be > 0")
+
+    @property
+    def window_steps(self) -> int:
+        return max(1, int(round(self.window_seconds / self.interval_seconds)))
+
+    def host_record(self, pm_id: int) -> HostSlaRecord:
+        return self.hosts.setdefault(pm_id, HostSlaRecord())
+
+    def vm_record(self, vm_id: int) -> VmSlaRecord:
+        return self.vms.setdefault(
+            vm_id, VmSlaRecord(window_steps=self.window_steps)
+        )
+
+    def observe_step(
+        self,
+        datacenter: Datacenter,
+        interval_seconds: float,
+        migration_downtime: Mapping[int, float] = (),
+    ) -> None:
+        """Record one observation interval.
+
+        * every host serving VMs accrues active time, and overload time
+          when its demanded utilization exceeds ``beta``;
+        * every active VM accrues requested time;
+        * VMs on overloaded hosts accrue the full interval as overload
+          downtime (Section 3.3 counts the host's whole overloading time
+          against each VM on it);
+        * per-VM migration downtime (from the migration engine) is added
+          as reported.
+        """
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval must be > 0")
+        mig: Dict[int, float] = dict(migration_downtime)
+        step_downtime: Dict[int, float] = {}
+        step_requested: Dict[int, float] = {}
+        for pm_id in datacenter.active_pm_ids():
+            record = self.host_record(pm_id)
+            record.active_seconds += interval_seconds
+            overloaded = datacenter.is_overloaded(pm_id, self.beta) or (
+                self.bandwidth_threshold is not None
+                and datacenter.is_bandwidth_overloaded(
+                    pm_id, self.bandwidth_threshold
+                )
+            )
+            if overloaded:
+                record.overload_seconds += interval_seconds
+            for vm_id in datacenter.vms_on(pm_id):
+                vm = datacenter.vm(vm_id)
+                if not vm.is_active:
+                    continue
+                vm_rec = self.vm_record(vm_id)
+                vm_rec.requested_seconds += interval_seconds
+                step_requested[vm_id] = interval_seconds
+                if overloaded:
+                    vm_rec.overload_downtime_seconds += interval_seconds
+                    step_downtime[vm_id] = (
+                        step_downtime.get(vm_id, 0.0) + interval_seconds
+                    )
+        for vm_id, seconds in mig.items():
+            self.vm_record(vm_id).migration_downtime_seconds += seconds
+            step_downtime[vm_id] = step_downtime.get(vm_id, 0.0) + seconds
+            step_requested.setdefault(vm_id, interval_seconds)
+        for vm_id, requested in step_requested.items():
+            downtime = min(step_downtime.get(vm_id, 0.0), requested)
+            self.vm_record(vm_id).record_step(downtime, requested)
+
+    def downtime_fraction(self, vm_id: int) -> float:
+        """Windowed downtime fraction for a VM (0 if never seen)."""
+        record = self.vms.get(vm_id)
+        return record.downtime_fraction if record else 0.0
+
+    def overall_sla_violation(self) -> float:
+        """Mean lifetime downtime fraction across VMs — a QoS summary."""
+        if not self.vms:
+            return 0.0
+        return sum(
+            r.cumulative_downtime_fraction for r in self.vms.values()
+        ) / len(self.vms)

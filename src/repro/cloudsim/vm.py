@@ -1,0 +1,107 @@
+"""Virtual machine model.
+
+A :class:`VirtualMachine` carries the static resources a user requested
+(CPU capacity in MIPS, RAM, network bandwidth) plus per-step dynamic state:
+the CPU utilization fraction its workload *demands* and the fraction the
+host actually *delivers* (which can be lower when the host is oversubscribed
+or the VM is mid-migration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class VirtualMachine:
+    """A virtual machine instance.
+
+    Attributes:
+        vm_id: unique integer identifier, dense in ``[0, N)``.
+        mips: CPU capacity allocated to the VM (million instr. per second).
+        ram_mb: RAM allocated to the VM, in megabytes.  Migration time is
+            ``ram / bandwidth`` (Section 3.3).
+        bandwidth_mbps: network bandwidth available for migrating this VM,
+            in megabits per second.
+        demanded_utilization: fraction of ``mips`` the workload currently
+            asks for (set each step from the trace).
+        delivered_utilization: fraction of ``mips`` the host actually
+            granted this step.
+        demanded_bandwidth_utilization: fraction of ``bandwidth_mbps``
+            the workload's network traffic currently uses (only set by
+            bandwidth-aware workloads; 0 otherwise).
+    """
+
+    vm_id: int
+    mips: float
+    ram_mb: float
+    bandwidth_mbps: float
+    demanded_utilization: float = 0.0
+    delivered_utilization: float = 0.0
+    demanded_bandwidth_utilization: float = 0.0
+    _active: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vm_id < 0:
+            raise ConfigurationError("vm_id must be >= 0")
+        if self.mips <= 0:
+            raise ConfigurationError("VM mips must be > 0")
+        if self.ram_mb <= 0:
+            raise ConfigurationError("VM ram must be > 0")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("VM bandwidth must be > 0")
+        self.set_demand(self.demanded_utilization)
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the VM currently has a running workload."""
+        return self._active
+
+    def set_demand(self, utilization: float) -> None:
+        """Set the workload's demanded CPU fraction for this step."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        self.demanded_utilization = utilization
+
+    def set_bandwidth_demand(self, utilization: float) -> None:
+        """Set the workload's demanded network fraction for this step."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"bandwidth utilization must be in [0, 1], got {utilization}"
+            )
+        self.demanded_bandwidth_utilization = utilization
+
+    def set_active(self, active: bool) -> None:
+        """Mark the VM as running a task (Google-style traces) or idle."""
+        self._active = active
+        if not active:
+            self.demanded_utilization = 0.0
+            self.delivered_utilization = 0.0
+            self.demanded_bandwidth_utilization = 0.0
+
+    @property
+    def demanded_mips(self) -> float:
+        """Absolute MIPS the workload is asking for this step."""
+        return self.demanded_utilization * self.mips
+
+    @property
+    def delivered_mips(self) -> float:
+        """Absolute MIPS the host granted this step."""
+        return self.delivered_utilization * self.mips
+
+    @property
+    def demanded_bandwidth_mbps(self) -> float:
+        """Absolute network bandwidth the workload is using this step."""
+        return self.demanded_bandwidth_utilization * self.bandwidth_mbps
+
+    def migration_time_seconds(self) -> float:
+        """Expected live-migration duration ``TM = M / B`` (Section 3.3).
+
+        RAM is in megabytes and bandwidth in megabits/s, so the factor 8
+        converts bytes to bits.
+        """
+        return self.ram_mb * 8.0 / self.bandwidth_mbps

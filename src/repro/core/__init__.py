@@ -1,0 +1,33 @@
+"""Megh: the paper's online reinforcement-learning scheduler (Section 5).
+
+``basis`` defines the sparse one-hot projection (Theorem 1), ``sparse``
+the dict-of-rows matrix that exploits it (Section 5.2), ``lstd`` the
+Sherman–Morrison incremental inverse and least-squares machinery
+(Algorithm 1), ``exploration`` the Boltzmann policy calculator
+(Algorithm 2), and ``agent`` the full scheduler.
+"""
+
+from repro.core.basis import SparseBasis
+from repro.core.sparse import SparseMatrix
+from repro.core.lstd import SparseLstd
+from repro.core.dense import DenseLstd
+from repro.core.exploration import BoltzmannPolicy, EpsilonGreedyPolicy
+from repro.core.qtable import QTableTracker
+from repro.core.agent import MeghScheduler
+from repro.core.checkpoint import load_agent, save_agent
+from repro.core.trace import DecisionRecord, DecisionTrace
+
+__all__ = [
+    "SparseBasis",
+    "SparseMatrix",
+    "SparseLstd",
+    "DenseLstd",
+    "BoltzmannPolicy",
+    "EpsilonGreedyPolicy",
+    "QTableTracker",
+    "MeghScheduler",
+    "save_agent",
+    "load_agent",
+    "DecisionRecord",
+    "DecisionTrace",
+]

@@ -1,0 +1,472 @@
+"""The Megh scheduler (Algorithm 1 wired into the simulator).
+
+Per observation interval the agent:
+
+1. forms the candidate action set for the new state — for every VM on an
+   overloaded host (mandatory relief) and, optionally, on an underloaded
+   host (consolidation), all feasible ``(vm, destination)`` pairs plus the
+   self-migration no-op;
+2. completes the previous step's Algorithm-1 iteration: using the cost the
+   simulator charged for that step (Eq. 6) and the action the current
+   policy would take in the new state, applies the Sherman–Morrison update
+   (Eq. 11) and the ``z``/``theta`` updates for each action executed last
+   step;
+3. selects this step's actions with the Boltzmann policy calculator
+   (Algorithm 2) over ``Q(s, a) = theta[a]``, honouring the per-step cap
+   of ``max_migration_fraction x N`` migrations;
+4. decays the temperature.
+
+Every piece of per-step work is proportional to the candidate set and to
+the non-zeros touched in ``B`` — never to the full ``d = N x M`` space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloudsim.migration import Migration
+from repro.config import MeghConfig
+from repro.core.basis import SparseBasis
+from repro.core.exploration import BoltzmannPolicy
+from repro.core.lstd import SparseLstd
+from repro.core.qtable import QTableTracker
+from repro.errors import ConfigurationError
+from repro.mdp.action import ActionSpace, MigrationAction
+from repro.mdp.interfaces import Observation
+
+
+class MeghScheduler:
+    """Online RL live-migration scheduler (the paper's contribution).
+
+    Args:
+        num_vms: N.
+        num_pms: M.
+        config: hyper-parameters (Algorithm 1 and 2 defaults).
+        beta: host overload threshold used to pick mandatory candidates;
+            should match the simulator's SLA threshold.
+        seed: RNG seed for exploration.
+        policy: exploration policy override (defaults to the paper's
+            Boltzmann calculator; inject
+            :class:`~repro.core.exploration.EpsilonGreedyPolicy` for the
+            ablation).
+    """
+
+    name = "Megh"
+
+    def __init__(
+        self,
+        num_vms: int,
+        num_pms: int,
+        config: Optional[MeghConfig] = None,
+        beta: float = 0.70,
+        seed: int = 0,
+        policy=None,
+        bandwidth_beta: Optional[float] = None,
+        trace=None,
+    ) -> None:
+        if not 0 < beta <= 1:
+            raise ConfigurationError("beta must be in (0, 1]")
+        if bandwidth_beta is not None and not 0 < bandwidth_beta <= 1:
+            raise ConfigurationError("bandwidth beta must be in (0, 1]")
+        self.config = config or MeghConfig()
+        self.beta = beta
+        self.bandwidth_beta = bandwidth_beta
+        self.action_space = ActionSpace(num_vms=num_vms, num_pms=num_pms)
+        self.basis = SparseBasis(self.action_space)
+        self.lstd = SparseLstd(
+            dimension=self.action_space.dimension,
+            gamma=self.config.gamma,
+            delta=self.config.delta,
+        )
+        self.policy = policy or BoltzmannPolicy(
+            initial_temperature=self.config.initial_temperature,
+            decay=self.config.temperature_decay,
+            min_temperature=self.config.min_temperature,
+            seed=seed,
+        )
+        self.qtable = QTableTracker()
+        self._rng = np.random.default_rng(seed + 1)
+        self._previous_action_indices: List[int] = []
+        self._steps_seen = 0
+        self._cost_running_mean = 0.0
+        self._costs_seen = 0
+        #: Optional DecisionTrace collecting per-step records.
+        self.trace = trace
+        self._last_normalized_cost: Optional[float] = None
+
+    @classmethod
+    def from_simulation(
+        cls,
+        simulation,
+        config: Optional[MeghConfig] = None,
+        seed: int = 0,
+    ) -> "MeghScheduler":
+        """Build an agent sized and thresholded to match a simulation."""
+        dc_config = simulation.config.datacenter
+        return cls(
+            num_vms=simulation.datacenter.num_vms,
+            num_pms=simulation.datacenter.num_pms,
+            config=config,
+            beta=dc_config.overload_threshold,
+            seed=seed,
+            bandwidth_beta=(
+                dc_config.bandwidth_overload_threshold
+                if dc_config.bandwidth_aware
+                else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler protocol
+    # ------------------------------------------------------------------
+    def decide(self, observation: Observation) -> List[Migration]:
+        candidates = self._candidate_actions(observation)
+        self._learn_from_last_step(observation, candidates)
+        chosen = self._select_actions(observation, candidates)
+        datacenter = observation.datacenter
+        moves = [
+            a
+            for a in chosen
+            if datacenter.host_of(a.vm_id) != a.dest_pm_id
+        ]
+        noops = [
+            a
+            for a in chosen
+            if datacenter.host_of(a.vm_id) == a.dest_pm_id
+        ]
+        # Record the executed migrations plus a bounded sample of no-ops,
+        # keeping the number of LSTD updates per step O(#migrations) —
+        # the Section 5.2 complexity claim.
+        noop_budget = max(1, len(moves))
+        if len(noops) > noop_budget:
+            picked = self._rng.choice(
+                len(noops), size=noop_budget, replace=False
+            )
+            noops = [noops[int(i)] for i in picked]
+        self._previous_action_indices = [
+            self.basis.index_of(action) for action in moves + noops
+        ]
+        if self.trace is not None:
+            from repro.core.trace import DecisionRecord
+
+            self.trace.append(
+                DecisionRecord(
+                    step=observation.step,
+                    temperature=self.policy.temperature,
+                    normalized_cost=self._last_normalized_cost,
+                    num_candidate_vms=len(candidates),
+                    num_candidate_actions=sum(
+                        len(actions) for actions in candidates
+                    ),
+                    chosen=tuple(
+                        (a.vm_id, a.dest_pm_id) for a in moves
+                    ),
+                    chosen_q=tuple(
+                        self.lstd.q_value(self.basis.index_of(a))
+                        for a in moves
+                    ),
+                    q_table_nonzeros=self.lstd.q_table_nonzeros,
+                )
+            )
+        self.policy.step()
+        self._steps_seen += 1
+        self.qtable.record(self._steps_seen, self.lstd.q_table_nonzeros)
+        return [
+            Migration(vm_id=a.vm_id, dest_pm_id=a.dest_pm_id) for a in moves
+        ]
+
+    # ------------------------------------------------------------------
+    # Candidate generation ("which VM" and "where")
+    # ------------------------------------------------------------------
+    def _candidate_actions(
+        self, observation: Observation
+    ) -> List[List[MigrationAction]]:
+        """Per-VM candidate lists: the no-op plus feasible destinations.
+
+        Overloaded-host VMs come first (mandatory relief), then VMs on
+        underloaded hosts ordered so the easiest-to-empty hosts are
+        considered first.  The ``max_candidate_vms`` cap bounds per-step
+        work without changing what is learnable: the (vm, destination)
+        Q-values persist across steps.
+        """
+        datacenter = observation.datacenter
+        source_vms: List[int] = []
+        for pm_id in datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta):
+            source_vms.extend(
+                vm_id
+                for vm_id in sorted(datacenter.vms_on(pm_id))
+                if datacenter.vm(vm_id).is_active
+            )
+        if self.config.consolidate_underloaded:
+            underloaded = [
+                pm_id
+                for pm_id in datacenter.active_pm_ids()
+                if 0.0
+                < datacenter.demanded_utilization(pm_id)
+                <= self.config.underload_threshold
+            ]
+            underloaded.sort(key=lambda pm_id: len(datacenter.vms_on(pm_id)))
+            for pm_id in underloaded:
+                source_vms.extend(
+                    vm_id
+                    for vm_id in sorted(datacenter.vms_on(pm_id))
+                    if datacenter.vm(vm_id).is_active
+                )
+        cap = self.config.max_candidate_vms
+        if cap:
+            source_vms = source_vms[:cap]
+        overloaded_now = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
+        per_vm: List[List[MigrationAction]] = []
+        seen = set()
+        for vm_id in source_vms:
+            if vm_id in seen:
+                continue
+            seen.add(vm_id)
+            current = datacenter.host_of(vm_id)
+            if current is None:
+                continue
+            destinations = self._destinations_for(
+                observation,
+                vm_id,
+                current,
+                relief=current in overloaded_now,
+            )
+            actions = [
+                MigrationAction(vm_id=vm_id, dest_pm_id=pm_id)
+                for pm_id in destinations
+            ]
+            # The stay-put action competes for consolidation sources, but
+            # not on an overloaded host with feasible destinations —
+            # overload relief is mandatory (the cap still bounds how many
+            # relief moves execute per step).
+            if current not in overloaded_now or not actions:
+                actions.insert(
+                    0, MigrationAction(vm_id=vm_id, dest_pm_id=current)
+                )
+            per_vm.append(actions)
+        return per_vm
+
+    def _destinations_for(
+        self,
+        observation: Observation,
+        vm_id: int,
+        current: int,
+        relief: bool = False,
+    ) -> Sequence[int]:
+        """Feasible destinations: RAM fits and no new overload is created.
+
+        Consolidation proposals leave headroom below beta so demand noise
+        after the move does not immediately tip the destination into
+        overload; relief moves off an overloaded host may use the full
+        beta budget (getting the VM out is the priority).
+
+        When ``candidate_destinations`` bounds the proposal size, the
+        most-utilized feasible hosts are proposed first: packing proposals
+        are the ones worth scoring, and the learned Q (plus the no-op)
+        still decides whether any of them is taken.
+        """
+        datacenter = observation.datacenter
+        feasible = self._feasible_destinations(
+            datacenter, vm_id, current, self.config.destination_headroom,
+            allow_empty_hosts=relief,
+        )
+        if relief and not feasible:
+            # No destination passes the safety headroom: getting the VM
+            # off the overloaded host still beats leaving it, so fall
+            # back to the full beta budget.
+            feasible = self._feasible_destinations(
+                datacenter, vm_id, current, 1.0, allow_empty_hosts=True
+            )
+        limit = self.config.candidate_destinations
+        if limit and len(feasible) > limit:
+            feasible.sort(
+                key=lambda pm_id: -datacenter.demanded_utilization(pm_id)
+            )
+            feasible = feasible[:limit]
+        return feasible
+
+    def _feasible_destinations(
+        self,
+        datacenter,
+        vm_id: int,
+        current: int,
+        headroom: float,
+        allow_empty_hosts: bool,
+    ) -> List[int]:
+        vm = datacenter.vm(vm_id)
+        feasible: List[int] = []
+        for pm in datacenter.pms:
+            if pm.pm_id == current:
+                continue
+            # Consolidation only packs onto hosts that already serve VMs;
+            # moving a VM from one underloaded host to an empty one can
+            # never reduce the active-host count.  Relief may wake hosts.
+            if not allow_empty_hosts and not datacenter.vms_on(pm.pm_id):
+                continue
+            if not datacenter.fits(vm_id, pm.pm_id):
+                continue
+            new_demand = (
+                datacenter.demanded_mips(pm.pm_id) + vm.demanded_mips
+            )
+            if new_demand > headroom * self.beta * pm.mips:
+                continue
+            if self.bandwidth_beta is not None:
+                new_traffic = (
+                    datacenter.bandwidth_demanded_mbps(pm.pm_id)
+                    + vm.demanded_bandwidth_mbps
+                )
+                budget = (
+                    headroom * self.bandwidth_beta * pm.bandwidth_mbps
+                )
+                if new_traffic > budget:
+                    continue
+            feasible.append(pm.pm_id)
+        return feasible
+
+    # ------------------------------------------------------------------
+    # Learning (Algorithm 1 lines 8-12)
+    # ------------------------------------------------------------------
+    def _learn_from_last_step(
+        self,
+        observation: Observation,
+        candidates: List[List[MigrationAction]],
+    ) -> None:
+        if not self._previous_action_indices:
+            return
+        cost = self._normalize_cost(observation.last_step_cost_usd)
+        next_index = self._greedy_candidate_index(candidates)
+        for action_index in self._previous_action_indices:
+            target = next_index if next_index is not None else action_index
+            # Each action "in effect" last step receives the full step
+            # cost, the multi-action extension of Algorithm 1's line 10.
+            self.lstd.update(action_index, target, cost)
+
+    def _normalize_cost(self, cost_usd: float) -> float:
+        """Scale the raw USD step cost into Boltzmann-comparable units.
+
+        With ``cost_scale=None`` the cost is divided by its running mean,
+        so Q differences are O(1) regardless of fleet size or electricity
+        price; ``baseline_subtraction`` additionally centres the signal,
+        so actions followed by below-average cost earn negative credit.
+        """
+        self._costs_seen += 1
+        self._cost_running_mean += (
+            cost_usd - self._cost_running_mean
+        ) / self._costs_seen
+        if self.config.cost_scale is not None:
+            scale = self.config.cost_scale
+        else:
+            scale = max(abs(self._cost_running_mean), 1e-12)
+        cost = cost_usd
+        if self.config.baseline_subtraction:
+            cost -= self._cost_running_mean
+        normalized = cost / scale
+        self._last_normalized_cost = normalized
+        return normalized
+
+    def _greedy_candidate_index(
+        self, candidates: List[List[MigrationAction]]
+    ) -> Optional[int]:
+        """``phi_{pi_t(s_{t+1})}``: the current policy's pick in the new state."""
+        best_index: Optional[int] = None
+        best_q = float("inf")
+        for actions in candidates:
+            for action in actions:
+                index = self.basis.index_of(action)
+                q = self.lstd.q_value(index)
+                if q < best_q:
+                    best_q = q
+                    best_index = index
+        return best_index
+
+    # ------------------------------------------------------------------
+    # Action selection ("when")
+    # ------------------------------------------------------------------
+    def _select_actions(
+        self,
+        observation: Observation,
+        candidates: List[List[MigrationAction]],
+    ) -> List[MigrationAction]:
+        datacenter = observation.datacenter
+        overloaded_now = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
+        picks: List[tuple[float, MigrationAction]] = []
+        for actions in candidates:
+            source = datacenter.host_of(actions[0].vm_id)
+            mandatory = source in overloaded_now
+            q_values = []
+            for action in actions:
+                q = self.lstd.q_value(self.basis.index_of(action))
+                # Soft switching cost: consolidation moves must beat the
+                # stay-put Q by the hysteresis margin.  At high
+                # temperature the margin is negligible (exploration is
+                # unharmed); once the temperature decays it suppresses
+                # ping-pong between equally good homes.  Relief moves off
+                # overloaded hosts are exempt.
+                if action.dest_pm_id != source and not mandatory:
+                    q += self.config.migration_margin
+                q_values.append(q)
+            action, index = self.policy.select(actions, q_values)
+            picks.append((q_values[index], action))
+        max_moves = max(
+            1, int(self.config.max_migration_fraction * self.action_space.num_vms)
+        )
+        # Keep every no-op (they cost nothing to execute) but cap real
+        # moves at the 2 % budget.  Within the budget, moves that relieve
+        # an overloaded host come first (they are why "when to migrate"
+        # matters); remaining slots go to the best-Q consolidation moves.
+        overloaded = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
+        noops = [
+            action
+            for _, action in picks
+            if datacenter.host_of(action.vm_id) == action.dest_pm_id
+        ]
+        moves = sorted(
+            (
+                (datacenter.host_of(action.vm_id) not in overloaded, q, action)
+                for q, action in picks
+                if datacenter.host_of(action.vm_id) != action.dest_pm_id
+            ),
+            key=lambda triple: (triple[0], triple[1]),
+        )
+        chosen = noops + [action for _, _, action in moves[:max_moves]]
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def q_table_nonzeros(self) -> int:
+        """Current Q-table size (Figure 7 quantity)."""
+        return self.lstd.q_table_nonzeros
+
+    @property
+    def temperature(self) -> float:
+        """Current Boltzmann temperature."""
+        return self.policy.temperature
+
+    def preferred_hosts(self, vm_id: int, top_k: int = 3):
+        """The VM's learned host preferences: ``[(pm_id, Q), ...]``.
+
+        Lower Q = cheaper expected future cost; hosts the agent has never
+        evaluated for this VM carry Q = 0.  A read-only window into what
+        the Q-table has learned, for debugging and the inspection
+        example.
+        """
+        if not 0 <= vm_id < self.action_space.num_vms:
+            raise ConfigurationError(
+                f"vm_id {vm_id} out of range "
+                f"[0, {self.action_space.num_vms})"
+            )
+        if top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        scored = [
+            (
+                action.dest_pm_id,
+                self.lstd.q_value(self.basis.index_of(action)),
+            )
+            for action in self.action_space.actions_for_vm(vm_id)
+        ]
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:top_k]

@@ -1,0 +1,53 @@
+"""Sparse one-hot basis of Megh's projection space (Theorem 1).
+
+Megh projects the combinatorial state-action space onto ``X``, spanned by
+``d = N x M`` basis vectors ``phi_jk`` — one per migration action (VM j to
+PM k), with a single 1 at index ``j * M + k``.  Because every basis vector
+is one-hot, all of Megh's linear algebra reduces to index arithmetic: the
+approximated cost-to-go is ``V(s) = theta^T phi_pi(s) = theta[index]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.mdp.action import ActionSpace, MigrationAction
+
+
+class SparseBasis:
+    """The family ``{phi_jk}`` as index arithmetic over an action space."""
+
+    def __init__(self, action_space: ActionSpace) -> None:
+        self.action_space = action_space
+
+    @property
+    def dimension(self) -> int:
+        return self.action_space.dimension
+
+    def index_of(self, action: MigrationAction) -> int:
+        """Position of the single non-zero entry of ``phi_action``."""
+        return self.action_space.index(action)
+
+    def vector(self, action: MigrationAction) -> Dict[int, float]:
+        """``phi_action`` as a sparse one-hot dict."""
+        return {self.index_of(action): 1.0}
+
+    def combination(
+        self, action: MigrationAction, next_action: MigrationAction, gamma: float
+    ) -> Dict[int, float]:
+        """``phi_a - gamma * phi_a'`` — the right factor of Eq. (10).
+
+        When both actions share an index the entries merge (this happens
+        when the policy would repeat the same action).
+        """
+        if not 0 <= gamma < 1:
+            raise ConfigurationError("gamma must be in [0, 1)")
+        a = self.index_of(action)
+        b = self.index_of(next_action)
+        if a == b:
+            value = 1.0 - gamma
+            return {a: value} if value != 0.0 else {}
+        if gamma == 0.0:
+            return {a: 1.0}
+        return {a: 1.0, b: -gamma}

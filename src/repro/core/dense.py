@@ -1,0 +1,78 @@
+"""Dense reference implementation of Algorithm 1's linear algebra.
+
+Used for correctness cross-checks and the sparse-vs-dense ablation
+(Section 5.2's complexity claim): :class:`DenseLstd` maintains the same
+``B``, ``z`` and ``theta`` as :class:`repro.core.lstd.SparseLstd`, but
+with ``O(d^2)`` numpy operations per update.  On anything but toy
+dimensions it is dramatically slower — which is the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Matches SparseLstd: denominators below this skip the update.
+DENOMINATOR_FLOOR = 1e-10
+
+
+class DenseLstd:
+    """Sherman-Morrison LSTD with dense numpy state.
+
+    Mirrors :class:`repro.core.lstd.SparseLstd`'s interface exactly, so
+    the two are interchangeable in tests and ablations.
+    """
+
+    def __init__(
+        self, dimension: int, gamma: float, delta: float | None = None
+    ) -> None:
+        if dimension < 1:
+            raise ConfigurationError("dimension must be >= 1")
+        if not 0 <= gamma < 1:
+            raise ConfigurationError("gamma must be in [0, 1)")
+        self.dimension = dimension
+        self.gamma = gamma
+        self.delta = float(dimension) if delta is None else float(delta)
+        if self.delta <= 0:
+            raise ConfigurationError("delta must be > 0")
+        self.B = np.eye(dimension) / self.delta
+        self.z = np.zeros(dimension)
+        self.updates_applied = 0
+        self.updates_skipped = 0
+
+    def _check_action(self, index: int) -> None:
+        if not 0 <= index < self.dimension:
+            raise ConfigurationError(
+                f"action index {index} out of range [0, {self.dimension})"
+            )
+
+    def update(self, action_index: int, next_action_index: int, cost: float) -> None:
+        """One Algorithm-1 iteration (Eq. 11), densely."""
+        self._check_action(action_index)
+        self._check_action(next_action_index)
+        u = np.zeros(self.dimension)
+        u[action_index] = 1.0
+        v = u.copy()
+        v[next_action_index] -= self.gamma
+        bu = self.B @ u
+        vtb = v @ self.B
+        denominator = 1.0 + float(v @ bu)
+        if abs(denominator) < DENOMINATOR_FLOOR:
+            self.updates_skipped += 1
+        else:
+            self.B -= np.outer(bu, vtb) / denominator
+            self.updates_applied += 1
+        self.z[action_index] += cost
+
+    def q_value(self, action_index: int) -> float:
+        self._check_action(action_index)
+        return float(self.B[action_index] @ self.z)
+
+    def theta(self) -> np.ndarray:
+        return self.B @ self.z
+
+    @property
+    def q_table_nonzeros(self) -> int:
+        """Stored entries — for a dense matrix, always ``d^2``."""
+        return self.dimension**2

@@ -1,0 +1,173 @@
+"""Boltzmann exploration with decaying temperature (Algorithm 2).
+
+Actions are weighted ``exp((-Q + Q_min) / Temp)``: the cheapest action
+gets weight 1 and costlier ones exponentially less, so high temperatures
+explore broadly while ``Temp -> 0`` recovers greedy selection.  The
+temperature decays by ``exp(-epsilon)`` each step.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ActionT = TypeVar("ActionT")
+
+
+class BoltzmannPolicy:
+    """Softmin action selection with per-step temperature decay.
+
+    Args:
+        initial_temperature: ``Temp_0`` (paper: 3).
+        decay: ``epsilon``; temperature multiplies by ``exp(-epsilon)``
+            at every :meth:`step`.
+        min_temperature: decay floor keeping the softmax well defined.
+        seed: RNG seed for sampling.
+    """
+
+    def __init__(
+        self,
+        initial_temperature: float = 3.0,
+        decay: float = 0.01,
+        min_temperature: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if initial_temperature <= 0:
+            raise ConfigurationError("Temp0 must be > 0")
+        if decay < 0:
+            raise ConfigurationError("epsilon must be >= 0")
+        if min_temperature <= 0:
+            raise ConfigurationError("min temperature must be > 0")
+        self.temperature = initial_temperature
+        self.decay = decay
+        self.min_temperature = min_temperature
+        self._rng = np.random.default_rng(seed)
+
+    def step(self) -> None:
+        """Apply one temperature-decay tick (line 2 of Algorithm 2)."""
+        self.temperature = max(
+            self.min_temperature, self.temperature * math.exp(-self.decay)
+        )
+
+    def weights(self, q_values: Sequence[float]) -> List[float]:
+        """Unnormalised Boltzmann weights (line 8 of Algorithm 2)."""
+        if not q_values:
+            return []
+        minimum = min(q_values)
+        return [
+            math.exp((-q + minimum) / self.temperature) for q in q_values
+        ]
+
+    def probabilities(self, q_values: Sequence[float]) -> List[float]:
+        """Normalised selection probabilities."""
+        weights = self.weights(q_values)
+        total = sum(weights)
+        if total == 0.0:
+            # All weights underflowed: fall back to uniform over the
+            # minimisers, preserving greedy behaviour.
+            minimum = min(q_values)
+            mask = [1.0 if q == minimum else 0.0 for q in q_values]
+            total = sum(mask)
+            return [m / total for m in mask]
+        return [w / total for w in weights]
+
+    def select(
+        self, actions: Sequence[ActionT], q_values: Sequence[float]
+    ) -> Tuple[ActionT, int]:
+        """Sample an action; returns ``(action, index)``."""
+        if len(actions) != len(q_values):
+            raise ConfigurationError("actions and q_values lengths differ")
+        if not actions:
+            raise ConfigurationError("cannot select from an empty action set")
+        probabilities = self.probabilities(q_values)
+        index = int(self._rng.choice(len(actions), p=probabilities))
+        return actions[index], index
+
+    def select_greedy(
+        self, actions: Sequence[ActionT], q_values: Sequence[float]
+    ) -> Tuple[ActionT, int]:
+        """Pure exploitation — used once the temperature has decayed."""
+        if len(actions) != len(q_values):
+            raise ConfigurationError("actions and q_values lengths differ")
+        if not actions:
+            raise ConfigurationError("cannot select from an empty action set")
+        index = min(range(len(actions)), key=lambda i: q_values[i])
+        return actions[index], index
+
+
+class EpsilonGreedyPolicy:
+    """Epsilon-greedy alternative to Boltzmann exploration (ablation).
+
+    Interface-compatible with :class:`BoltzmannPolicy`: pick the min-Q
+    action with probability ``1 - epsilon`` and a uniform random action
+    otherwise; ``epsilon`` decays multiplicatively per :meth:`step`.
+    The paper argues Boltzmann's cost-sensitivity beats this uniform
+    exploration — the ablation bench quantifies it.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.3,
+        decay: float = 0.01,
+        min_epsilon: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if not 0 <= epsilon <= 1:
+            raise ConfigurationError("epsilon must be in [0, 1]")
+        if decay < 0:
+            raise ConfigurationError("decay must be >= 0")
+        if not 0 <= min_epsilon <= 1:
+            raise ConfigurationError("min epsilon must be in [0, 1]")
+        self.epsilon = epsilon
+        self.decay = decay
+        self.min_epsilon = min_epsilon
+        self._rng = np.random.default_rng(seed)
+
+    #: BoltzmannPolicy interface parity — reported as a pseudo-temperature.
+    @property
+    def temperature(self) -> float:
+        return self.epsilon
+
+    def step(self) -> None:
+        """Decay epsilon by ``exp(-decay)``, floored at ``min_epsilon``."""
+        self.epsilon = max(
+            self.min_epsilon, self.epsilon * math.exp(-self.decay)
+        )
+
+    def probabilities(self, q_values: Sequence[float]) -> List[float]:
+        """Selection distribution: greedy mass plus uniform exploration."""
+        if not q_values:
+            return []
+        count = len(q_values)
+        base = self.epsilon / count
+        probabilities = [base] * count
+        greedy = min(range(count), key=lambda i: q_values[i])
+        probabilities[greedy] += 1.0 - self.epsilon
+        return probabilities
+
+    def select(
+        self, actions: Sequence[ActionT], q_values: Sequence[float]
+    ) -> Tuple[ActionT, int]:
+        if len(actions) != len(q_values):
+            raise ConfigurationError("actions and q_values lengths differ")
+        if not actions:
+            raise ConfigurationError("cannot select from an empty action set")
+        if self._rng.random() < self.epsilon:
+            index = int(self._rng.integers(0, len(actions)))
+        else:
+            index = min(range(len(actions)), key=lambda i: q_values[i])
+        return actions[index], index
+
+    def select_greedy(
+        self, actions: Sequence[ActionT], q_values: Sequence[float]
+    ) -> Tuple[ActionT, int]:
+        if len(actions) != len(q_values):
+            raise ConfigurationError("actions and q_values lengths differ")
+        if not actions:
+            raise ConfigurationError("cannot select from an empty action set")
+        index = min(range(len(actions)), key=lambda i: q_values[i])
+        return actions[index], index

@@ -1,0 +1,105 @@
+"""Least-squares temporal-difference core of Algorithm 1.
+
+Maintains the inverse transition operator ``B = T^{-1}`` via the
+Sherman–Morrison formula (Eq. 11), the reward-weighted feature sum ``z``
+(line 10 of Algorithm 1), and exposes the projection vector
+``theta = B z`` (line 11).  Because every feature is one-hot,
+``Q(s, a) = theta[index(a)]`` and each theta entry is a single sparse
+row-vector dot product — computed lazily so a step's cost is proportional
+to the migrations performed, exactly the Section 5.2 claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.sparse import SparseMatrix
+from repro.errors import ConfigurationError
+
+#: Denominators below this in magnitude would blow up the rank-1 update;
+#: such samples are skipped (standard recursive-least-squares practice).
+DENOMINATOR_FLOOR = 1e-10
+
+
+class SparseLstd:
+    """Sherman–Morrison LSTD state: ``B``, ``z`` and lazy ``theta``.
+
+    Args:
+        dimension: ``d = N x M``.
+        gamma: discount factor.
+        delta: ``B_0 = (1/delta) I``; the paper takes ``delta = d``.
+    """
+
+    def __init__(
+        self, dimension: int, gamma: float, delta: float | None = None
+    ) -> None:
+        if dimension < 1:
+            raise ConfigurationError("dimension must be >= 1")
+        if not 0 <= gamma < 1:
+            raise ConfigurationError("gamma must be in [0, 1)")
+        self.dimension = dimension
+        self.gamma = gamma
+        self.delta = float(dimension) if delta is None else float(delta)
+        if self.delta <= 0:
+            raise ConfigurationError("delta must be > 0")
+        self.B = SparseMatrix.identity(dimension, scale=1.0 / self.delta)
+        self.z: Dict[int, float] = {}
+        self.updates_applied = 0
+        self.updates_skipped = 0
+
+    def update(self, action_index: int, next_action_index: int, cost: float) -> None:
+        """One Algorithm-1 iteration for an executed action.
+
+        Implements Eq. (11) with ``u = phi_a`` and
+        ``v = phi_a - gamma * phi_a'`` followed by ``z += phi_a * C``.
+        With one-hot features, ``B u`` is column ``a`` of ``B`` and
+        ``v^T B`` is row ``a`` minus ``gamma`` times row ``a'``.
+        """
+        self._check_action(action_index)
+        self._check_action(next_action_index)
+        a, a_next = action_index, next_action_index
+
+        bu = self.B.column(a)
+        row_a = self.B.row(a)
+        row_next = self.B.row(a_next)
+        vtb: Dict[int, float] = dict(row_a)
+        for j, value in row_next.items():
+            vtb[j] = vtb.get(j, 0.0) - self.gamma * value
+
+        # denominator = 1 + v^T B u = 1 + (B[a,a] - gamma B[a',a])
+        denominator = 1.0 + (
+            row_a.get(a, 0.0) - self.gamma * row_next.get(a, 0.0)
+        )
+        if abs(denominator) < DENOMINATOR_FLOOR:
+            self.updates_skipped += 1
+        else:
+            self.B.rank_one_update(bu, vtb, scale=-1.0 / denominator)
+            self.updates_applied += 1
+
+        self.z[a] = self.z.get(a, 0.0) + cost
+
+    def _check_action(self, index: int) -> None:
+        if not 0 <= index < self.dimension:
+            raise ConfigurationError(
+                f"action index {index} out of range [0, {self.dimension})"
+            )
+
+    def q_value(self, action_index: int) -> float:
+        """``Q(s, a) = theta[a] = (B z)[a]`` — one sparse dot product."""
+        self._check_action(action_index)
+        return self.B.row_dot(action_index, self.z)
+
+    def theta(self) -> np.ndarray:
+        """Dense ``theta = B z`` (for analysis / tests; O(nnz))."""
+        theta = np.zeros(self.dimension)
+        for i in range(self.dimension):
+            value = self.B.row_dot(i, self.z)
+            theta[i] = value
+        return theta
+
+    @property
+    def q_table_nonzeros(self) -> int:
+        """Stored non-zeros of ``B`` — the Figure-7 quantity."""
+        return self.B.nnz

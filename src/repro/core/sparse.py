@@ -1,0 +1,139 @@
+"""Sparse square matrix specialised for Megh's update pattern (Section 5.2).
+
+The inverse operator ``B`` starts diagonal and is only ever modified by
+rank-1 updates whose left factor is a single column of ``B`` and whose
+right factor combines two rows of ``B``.  A dict-of-rows store with a
+column index therefore supports every operation Megh needs in time
+proportional to the number of stored non-zeros touched — this is the
+"triplet" data structure the paper credits for Megh's real-time speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Magnitudes below this are dropped from the store, bounding fill-in noise.
+PRUNE_EPSILON = 1e-14
+
+
+class SparseMatrix:
+    """A ``dimension x dimension`` sparse matrix of floats.
+
+    Rows are dicts ``column -> value``; a column index (``column -> set of
+    rows``) makes column extraction O(nnz in column).
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if dimension < 1:
+            raise ConfigurationError("dimension must be >= 1")
+        self.dimension = dimension
+        self._rows: Dict[int, Dict[int, float]] = {}
+        self._col_index: Dict[int, Set[int]] = {}
+
+    @classmethod
+    def identity(cls, dimension: int, scale: float = 1.0) -> "SparseMatrix":
+        """``scale * I`` — Megh's ``B_0 = (1/delta) I``."""
+        matrix = cls(dimension)
+        for i in range(dimension):
+            matrix.set(i, i, scale)
+        return matrix
+
+    def _check_index(self, i: int, j: int) -> None:
+        if not (0 <= i < self.dimension and 0 <= j < self.dimension):
+            raise ConfigurationError(
+                f"index ({i}, {j}) out of range for dimension {self.dimension}"
+            )
+
+    def get(self, i: int, j: int) -> float:
+        """Entry ``(i, j)``; 0 when unstored."""
+        self._check_index(i, j)
+        return self._rows.get(i, {}).get(j, 0.0)
+
+    def set(self, i: int, j: int, value: float) -> None:
+        """Store (or, for tiny values, erase) entry ``(i, j)``."""
+        self._check_index(i, j)
+        if abs(value) <= PRUNE_EPSILON:
+            row = self._rows.get(i)
+            if row and j in row:
+                del row[j]
+                if not row:
+                    del self._rows[i]
+                cols = self._col_index.get(j)
+                if cols:
+                    cols.discard(i)
+                    if not cols:
+                        del self._col_index[j]
+            return
+        self._rows.setdefault(i, {})[j] = value
+        self._col_index.setdefault(j, set()).add(i)
+
+    def add(self, i: int, j: int, delta: float) -> None:
+        """In-place ``B[i, j] += delta``."""
+        self.set(i, j, self.get(i, j) + delta)
+
+    def row(self, i: int) -> Dict[int, float]:
+        """Non-zero entries of row ``i`` (a copy)."""
+        self._check_index(i, 0)
+        return dict(self._rows.get(i, {}))
+
+    def column(self, j: int) -> Dict[int, float]:
+        """Non-zero entries of column ``j`` (a copy)."""
+        self._check_index(0, j)
+        rows = self._col_index.get(j, ())
+        return {i: self._rows[i][j] for i in rows if j in self._rows.get(i, {})}
+
+    def row_dot(self, i: int, vector: Dict[int, float]) -> float:
+        """Dot product of row ``i`` with a sparse vector."""
+        row = self._rows.get(i)
+        if not row:
+            return 0.0
+        if len(row) <= len(vector):
+            return sum(v * vector.get(j, 0.0) for j, v in row.items())
+        return sum(row.get(j, 0.0) * v for j, v in vector.items())
+
+    def rank_one_update(
+        self, col: Dict[int, float], row: Dict[int, float], scale: float
+    ) -> None:
+        """``B += scale * col (x) row`` — the Sherman–Morrison core.
+
+        Cost is O(nnz(col) * nnz(row)), independent of the dimension.
+        """
+        if scale == 0.0:
+            return
+        for i, ci in col.items():
+            if ci == 0.0:
+                continue
+            factor = scale * ci
+            for j, rj in row.items():
+                if rj == 0.0:
+                    continue
+                self.add(i, j, factor * rj)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries — the Q-table size (Fig 7)."""
+        return sum(len(row) for row in self._rows.values())
+
+    def items(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(i, j, value)`` over stored entries."""
+        for i, row in self._rows.items():
+            for j, value in row.items():
+                yield (i, j, value)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy — for tests and small ablations only."""
+        dense = np.zeros((self.dimension, self.dimension))
+        for i, j, value in self.items():
+            dense[i, j] = value
+        return dense
+
+    def copy(self) -> "SparseMatrix":
+        """Deep copy."""
+        clone = SparseMatrix(self.dimension)
+        for i, j, value in self.items():
+            clone.set(i, j, value)
+        return clone

@@ -1,0 +1,82 @@
+"""Megh decision tracing.
+
+Understanding *why* the agent moved a VM means seeing what it compared:
+the candidate set, the Q-values, the temperature, and the normalized
+cost that drove the last update.  :class:`DecisionTrace` captures one
+:class:`DecisionRecord` per step when attached to a
+:class:`~repro.core.agent.MeghScheduler` via ``trace=``; the learning-
+inspection example renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """What the agent saw and did at one step."""
+
+    step: int
+    temperature: float
+    normalized_cost: Optional[float]
+    num_candidate_vms: int
+    num_candidate_actions: int
+    chosen: Tuple[Tuple[int, int], ...]  # (vm_id, dest_pm_id) executed
+    chosen_q: Tuple[float, ...]
+    q_table_nonzeros: int
+
+
+@dataclass
+class DecisionTrace:
+    """Collects per-step decision records."""
+
+    records: List[DecisionRecord] = field(default_factory=list)
+
+    def append(self, record: DecisionRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def temperatures(self) -> List[float]:
+        return [r.temperature for r in self.records]
+
+    @property
+    def costs(self) -> List[float]:
+        return [
+            r.normalized_cost
+            for r in self.records
+            if r.normalized_cost is not None
+        ]
+
+    @property
+    def migrations_per_step(self) -> List[int]:
+        return [len(r.chosen) for r in self.records]
+
+    def vm_move_counts(self) -> Dict[int, int]:
+        """How often each VM was migrated."""
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            for vm_id, _ in record.chosen:
+                counts[vm_id] = counts.get(vm_id, 0) + 1
+        return counts
+
+    def exploration_phase_end(self, quiet_steps: int = 20) -> int:
+        """First step after which no window of ``quiet_steps`` contains
+        more exploration-rate migrations than the long-run average.
+
+        A pragmatic estimate of when the agent switched from exploring
+        to exploiting; returns the last step when it never settles.
+        """
+        moves = self.migrations_per_step
+        if len(moves) <= quiet_steps:
+            return len(moves)
+        overall = sum(moves) / len(moves)
+        for start in range(len(moves) - quiet_steps):
+            window = moves[start : start + quiet_steps]
+            if sum(window) / quiet_steps <= overall:
+                return start
+        return len(moves)

@@ -1,0 +1,149 @@
+"""Dynamic cost-model variants (the paper's "other cost models" hook).
+
+Section 3.3 notes the SLA cost model "can be replaced with other cost
+models considering varying market prices and various subtle factors
+without further modifying Megh", and Section 7 repeats the claim for the
+whole cost model.  This module provides two such replacements:
+
+* :class:`TimeOfUseEnergyCostModel` — electricity priced per time of
+  day (peak/off-peak), the standard commercial tariff;
+* :class:`TieredVmPricingSlaCostModel` — per-VM hourly prices (premium
+  and spot users), so refunds reflect what each user actually pays.
+
+Both are drop-in replacements for the flat models inside
+:class:`repro.costs.model.OperationCostModel`; the simulation driver
+accepts a pre-built cost model, and Megh is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.sla import SlaAccountant
+from repro.config import CostConfig
+from repro.costs.energy import EnergyCostModel
+from repro.costs.sla_cost import SlaCostModel
+from repro.errors import ConfigurationError
+
+#: Maps the hour of (simulated) day to a price multiplier.
+PriceSchedule = Callable[[float], float]
+
+
+def peak_offpeak_schedule(
+    peak_multiplier: float = 1.5,
+    offpeak_multiplier: float = 0.7,
+    peak_start_hour: float = 8.0,
+    peak_end_hour: float = 22.0,
+) -> PriceSchedule:
+    """The classic two-band tariff: peak price by day, off-peak by night."""
+    if peak_multiplier <= 0 or offpeak_multiplier <= 0:
+        raise ConfigurationError("price multipliers must be > 0")
+    if not 0 <= peak_start_hour < peak_end_hour <= 24:
+        raise ConfigurationError("need 0 <= start < end <= 24")
+
+    def schedule(hour_of_day: float) -> float:
+        if peak_start_hour <= hour_of_day % 24.0 < peak_end_hour:
+            return peak_multiplier
+        return offpeak_multiplier
+
+    return schedule
+
+
+class TimeOfUseEnergyCostModel(EnergyCostModel):
+    """Energy cost with a time-of-day price multiplier.
+
+    Args:
+        config: base cost parameters (the flat kWh price).
+        schedule: hour-of-day -> multiplier on the flat price.
+        interval_seconds: simulation interval, to track the clock.
+        start_hour: hour of day at step 0.
+    """
+
+    def __init__(
+        self,
+        config: CostConfig,
+        schedule: PriceSchedule,
+        interval_seconds: float = 300.0,
+        start_hour: float = 0.0,
+    ) -> None:
+        super().__init__(config)
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval must be > 0")
+        self._schedule = schedule
+        self._interval_hours = interval_seconds / 3600.0
+        self._clock_hours = start_hour
+
+    @property
+    def clock_hours(self) -> float:
+        """Simulated time of day at the *next* interval's start."""
+        return self._clock_hours % 24.0
+
+    def step_cost(
+        self, datacenter: Datacenter, interval_seconds: float
+    ) -> float:
+        multiplier = self._schedule(self._clock_hours % 24.0)
+        if multiplier <= 0:
+            raise ConfigurationError("schedule returned a multiplier <= 0")
+        flat = super().step_cost(datacenter, interval_seconds)
+        surcharge = flat * (multiplier - 1.0)
+        # Keep the running totals consistent with what was billed.
+        self._total_usd += surcharge
+        self._clock_hours += self._interval_hours
+        return flat + surcharge
+
+
+class TieredVmPricingSlaCostModel(SlaCostModel):
+    """SLA refunds proportional to per-VM hourly prices.
+
+    Args:
+        config: base cost parameters (payback fractions, thresholds).
+        vm_prices: VM id -> hourly price; missing ids use the config's
+            flat ``vm_price_usd_per_hour``.
+    """
+
+    def __init__(
+        self, config: CostConfig, vm_prices: Mapping[int, float]
+    ) -> None:
+        super().__init__(config)
+        for vm_id, price in vm_prices.items():
+            if price < 0:
+                raise ConfigurationError(
+                    f"vm {vm_id} has a negative price"
+                )
+        self._vm_prices = dict(vm_prices)
+        self._default_price = config.vm_price_usd_per_hour
+
+    def price_of(self, vm_id: int) -> float:
+        return self._vm_prices.get(vm_id, self._default_price)
+
+    def step_cost(
+        self, accountant: SlaAccountant, interval_seconds: float
+    ) -> float:
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval must be > 0")
+        hours = interval_seconds / 3600.0
+        usd = 0.0
+        for vm_id, record in accountant.vms.items():
+            rate = self.payback_rate(record.downtime_fraction)
+            if rate > 0.0:
+                usd += rate * self.price_of(vm_id) * hours
+        self._total_usd += usd
+        return usd
+
+
+def spot_and_premium_prices(
+    num_vms: int,
+    premium_vms: Sequence[int],
+    premium_price: float = 2.4,
+    spot_price: float = 0.4,
+) -> Mapping[int, float]:
+    """Convenience tier assignment: premium ids, spot for the rest."""
+    if premium_price < 0 or spot_price < 0:
+        raise ConfigurationError("prices must be >= 0")
+    prices = {vm_id: spot_price for vm_id in range(num_vms)}
+    for vm_id in premium_vms:
+        if not 0 <= vm_id < num_vms:
+            raise ConfigurationError(f"premium vm {vm_id} out of range")
+        prices[vm_id] = premium_price
+    return prices

@@ -1,0 +1,52 @@
+"""SLA-violation cost (Section 3.3, Eq. 3).
+
+The paper refunds users a fraction of their payment depending on their
+downtime percentage: 16.7 % when it falls in (0.05 %, 0.10 %] and 33.3 %
+above 0.10 %.  We accrue the refund per observation interval: a VM whose
+*current* downtime percentage sits in a violation band costs the provider
+``payback * vm_price_per_hour * (tau / 3600)`` for that interval.  Accruing
+per step (rather than re-evaluating a cumulative refund) keeps the
+per-stage cost ``ΔC_v`` non-negative, as Eq. (6)'s discussion requires.
+"""
+
+from __future__ import annotations
+
+from repro.cloudsim.sla import SlaAccountant
+from repro.config import CostConfig
+from repro.errors import ConfigurationError
+
+
+class SlaCostModel:
+    """Accumulates SLA-violation paybacks step by step."""
+
+    def __init__(self, config: CostConfig) -> None:
+        self._config = config
+        self._total_usd = 0.0
+
+    @property
+    def total_usd(self) -> float:
+        """Cumulative SLA-violation cost so far (``C_v`` of Eq. 3)."""
+        return self._total_usd
+
+    def payback_rate(self, downtime_fraction: float) -> float:
+        """Refund fraction for a VM at the given downtime percentage."""
+        if downtime_fraction > self._config.major_downtime_threshold:
+            return self._config.payback_major
+        if downtime_fraction > self._config.minor_downtime_threshold:
+            return self._config.payback_minor
+        return 0.0
+
+    def step_cost(
+        self, accountant: SlaAccountant, interval_seconds: float
+    ) -> float:
+        """Charge one interval and return its incremental cost in USD."""
+        if interval_seconds <= 0:
+            raise ConfigurationError("interval must be > 0")
+        hours = interval_seconds / 3600.0
+        usd = 0.0
+        for record in accountant.vms.values():
+            rate = self.payback_rate(record.downtime_fraction)
+            if rate > 0.0:
+                usd += rate * self._config.vm_price_usd_per_hour * hours
+        self._total_usd += usd
+        return usd

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Megh reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A placement or migration would exceed a physical machine's capacity."""
+
+
+class PlacementError(ReproError):
+    """A virtual machine could not be placed on any physical machine."""
+
+
+class UnknownEntityError(ReproError):
+    """A VM or PM identifier does not exist in the data center."""
+
+
+class MigrationError(ReproError):
+    """A live migration request was invalid (e.g. VM already migrating)."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed, empty, or exhausted."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler produced an invalid decision."""

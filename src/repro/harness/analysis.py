@@ -1,0 +1,130 @@
+"""Paper-style claim extraction from comparison runs.
+
+Section 6.3 states its findings as relative claims — "Megh reduces the
+expenditure by 14.25 %", "the total number of VM migrations for THR-MMT
+is almost 140 times more", "Megh speeds up the decision making by 1.41
+times".  This module computes exactly those quantities from a
+comparison's results, so a reproduction (or a new experiment) can state
+its findings in the paper's own vocabulary — with the numbers coming
+from data, not prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cloudsim.simulation import SimulationResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComparativeClaims:
+    """The paper's §6.3 quantities for one (subject, reference) pair."""
+
+    subject: str
+    reference: str
+    cost_reduction_percent: float
+    migration_ratio: float
+    speedup: float
+    active_host_ratio: float
+    subject_convergence_step: int
+    reference_convergence_step: int
+
+    def sentences(self) -> List[str]:
+        """The claims phrased the way the paper phrases them."""
+        lines = []
+        if self.cost_reduction_percent >= 0:
+            lines.append(
+                f"{self.subject} reduces the expenditure by "
+                f"{self.cost_reduction_percent:.2f}% with respect to "
+                f"{self.reference}."
+            )
+        else:
+            lines.append(
+                f"{self.subject} increases the expenditure by "
+                f"{-self.cost_reduction_percent:.2f}% with respect to "
+                f"{self.reference}."
+            )
+        lines.append(
+            f"The total number of VM migrations for {self.reference} is "
+            f"{self.migration_ratio:.1f} times that of {self.subject}."
+        )
+        if self.speedup >= 1.0:
+            lines.append(
+                f"{self.subject} speeds up the decision making by "
+                f"{self.speedup:.2f} times with respect to "
+                f"{self.reference}."
+            )
+        else:
+            lines.append(
+                f"{self.subject}'s decision making is "
+                f"{1.0 / self.speedup:.2f} times slower than "
+                f"{self.reference}'s."
+            )
+        lines.append(
+            f"{self.subject} keeps {self.active_host_ratio:.2f}x the "
+            f"active hosts of {self.reference}."
+        )
+        lines.append(
+            f"{self.subject} converges in ~{self.subject_convergence_step} "
+            f"steps; {self.reference} in "
+            f"~{self.reference_convergence_step}."
+        )
+        return lines
+
+
+def compare(
+    results: Dict[str, SimulationResult],
+    subject: str = "Megh",
+    reference: str = "THR-MMT",
+) -> ComparativeClaims:
+    """Compute the §6.3 claims for ``subject`` vs ``reference``."""
+    if subject not in results or reference not in results:
+        raise ConfigurationError(
+            f"need results for both {subject!r} and {reference!r}"
+        )
+    subject_result = results[subject]
+    reference_result = results[reference]
+    ref_cost = reference_result.total_cost_usd
+    cost_reduction = (
+        100.0 * (ref_cost - subject_result.total_cost_usd) / ref_cost
+        if ref_cost > 0
+        else 0.0
+    )
+    migration_ratio = reference_result.total_migrations / max(
+        subject_result.total_migrations, 1
+    )
+    speedup = reference_result.mean_scheduler_ms / max(
+        subject_result.mean_scheduler_ms, 1e-9
+    )
+    host_ratio = subject_result.mean_active_hosts / max(
+        reference_result.mean_active_hosts, 1e-9
+    )
+    return ComparativeClaims(
+        subject=subject,
+        reference=reference,
+        cost_reduction_percent=cost_reduction,
+        migration_ratio=migration_ratio,
+        speedup=speedup,
+        active_host_ratio=host_ratio,
+        subject_convergence_step=subject_result.metrics.convergence_step(),
+        reference_convergence_step=(
+            reference_result.metrics.convergence_step()
+        ),
+    )
+
+
+def claims_report(
+    results: Dict[str, SimulationResult], subject: str = "Megh"
+) -> str:
+    """§6.3-style prose for ``subject`` against every other algorithm."""
+    if subject not in results:
+        raise ConfigurationError(f"no results for {subject!r}")
+    blocks: List[str] = []
+    for reference in results:
+        if reference == subject:
+            continue
+        claims = compare(results, subject=subject, reference=reference)
+        blocks.append("\n".join(claims.sentences()))
+    return "\n\n".join(blocks)

@@ -1,0 +1,110 @@
+"""Terminal plotting: sparklines and multi-series line charts.
+
+The benches and CLI print figure *series*; these helpers make them
+readable at a glance without any plotting dependency — Unicode
+sparklines for one-liners, a character-grid line chart for the
+figure panels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Eight-level block characters, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """Render a series as a Unicode sparkline.
+
+    ``width`` > 0 downsamples to that many characters; 0 keeps every
+    point.  A constant series renders at the lowest level.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if width and len(data) > width:
+        step = (len(data) - 1) / (width - 1) if width > 1 else 0
+        data = [data[round(i * step)] for i in range(width)]
+    low, high = min(data), max(data)
+    span = high - low
+    if span == 0.0:
+        return SPARK_LEVELS[0] * len(data)
+    chars = []
+    for value in data:
+        index = int((value - low) / span * (len(SPARK_LEVELS) - 1))
+        chars.append(SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 10,
+    title: str = "",
+) -> str:
+    """Render one or more series as a character-grid line chart.
+
+    Each series gets a marker (``*``, ``+``, ``o``, ...); axes carry the
+    min/max labels.  All series share the y-scale.
+    """
+    if width < 10 or height < 3:
+        raise ConfigurationError("chart needs width >= 10 and height >= 3")
+    if not series or all(len(v) == 0 for v in series.values()):
+        return title or "(no data)"
+    markers = "*+ox#@%&"
+    all_values = [
+        float(v) for values in series.values() for v in values
+    ]
+    low, high = min(all_values), max(all_values)
+    span = high - low or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        data = [float(v) for v in values]
+        if not data:
+            continue
+        if len(data) > width:
+            step = (len(data) - 1) / (width - 1)
+            data = [data[round(i * step)] for i in range(width)]
+        for x, value in enumerate(data):
+            y = int((value - low) / span * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def labelled_sparklines(
+    series: Dict[str, Sequence[float]], width: int = 40
+) -> str:
+    """One sparkline row per series, labels aligned."""
+    if not series:
+        return ""
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        data = [float(v) for v in values]
+        suffix = ""
+        if data:
+            suffix = f"  [{min(data):.3g}, {max(data):.3g}]"
+        lines.append(
+            f"{name.ljust(label_width)} {sparkline(data, width)}{suffix}"
+        )
+    return "\n".join(lines)

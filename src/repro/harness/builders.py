@@ -1,0 +1,219 @@
+"""Fleet and simulation builders matching the paper's experimental setup.
+
+The PlanetLab fleet (Section 6.2): half HP ProLiant ML110 G4 hosts
+(2 x 1860 MIPS, the CloudSim convention) and half G5 (2 x 2660 MIPS), each
+with 4 GB RAM and 1 Gbps network.  VMs get a single vCPU of 500–2500 MIPS,
+0.5–2.5 GB RAM and 100 Mbps, drawn uniformly per VM from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloudsim.allocation import PLACEMENT_POLICIES
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.power import HP_PROLIANT_G4, HP_PROLIANT_G5, PowerModel
+from repro.cloudsim.simulation import Simulation
+from repro.cloudsim.vm import VirtualMachine
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+from repro.workloads.google import generate_google_workload
+from repro.workloads.planetlab import generate_planetlab_workload
+
+#: CloudSim's MIPS ratings for the two PlanetLab server generations.
+G4_MIPS = 2 * 1860.0
+G5_MIPS = 2 * 2660.0
+PM_RAM_MB = 4096.0
+PM_BANDWIDTH_MBPS = 1000.0
+
+#: CloudSim's four PlanetLab VM types span 500-2500 MIPS and 613-1740 MB.
+VM_MIPS_RANGE = (500.0, 2500.0)
+VM_RAM_RANGE_MB = (613.0, 1740.0)
+VM_BANDWIDTH_MBPS = 100.0
+
+
+#: Google tasks run in much smaller footprints than PlanetLab slices —
+#: the paper packs 4 VMs per PM (2000 VMs on 500 machines).
+GOOGLE_VM_RAM_RANGE_MB = (256.0, 1024.0)
+GOOGLE_VM_MIPS_RANGE = (500.0, 1500.0)
+
+
+def make_planetlab_fleet(
+    num_pms: int,
+    num_vms: int,
+    seed: int = 0,
+    vm_ram_range_mb: Tuple[float, float] = VM_RAM_RANGE_MB,
+    vm_mips_range: Tuple[float, float] = VM_MIPS_RANGE,
+) -> Tuple[List[PhysicalMachine], List[VirtualMachine]]:
+    """Build the paper's heterogeneous 50:50 G4/G5 fleet."""
+    if num_pms < 1 or num_vms < 1:
+        raise ConfigurationError("need at least one PM and one VM")
+    rng = np.random.default_rng(seed)
+    pms = []
+    for pm_id in range(num_pms):
+        if pm_id % 2 == 0:
+            mips, model = G4_MIPS, HP_PROLIANT_G4
+        else:
+            mips, model = G5_MIPS, HP_PROLIANT_G5
+        pms.append(
+            PhysicalMachine(
+                pm_id=pm_id,
+                mips=mips,
+                ram_mb=PM_RAM_MB,
+                bandwidth_mbps=PM_BANDWIDTH_MBPS,
+                power_model=model,
+            )
+        )
+    vms = []
+    for vm_id in range(num_vms):
+        vms.append(
+            VirtualMachine(
+                vm_id=vm_id,
+                mips=float(rng.uniform(*vm_mips_range)),
+                ram_mb=float(rng.uniform(*vm_ram_range_mb)),
+                bandwidth_mbps=VM_BANDWIDTH_MBPS,
+            )
+        )
+    return pms, vms
+
+
+def make_uniform_fleet(
+    num_pms: int,
+    num_vms: int,
+    pm_mips: float = G5_MIPS,
+    pm_ram_mb: float = PM_RAM_MB,
+    vm_mips: float = 1000.0,
+    vm_ram_mb: float = 1024.0,
+    power_model: Optional[PowerModel] = None,
+) -> Tuple[List[PhysicalMachine], List[VirtualMachine]]:
+    """Homogeneous fleet — the Section-4 idealization, handy for tests."""
+    model = power_model or HP_PROLIANT_G5
+    pms = [
+        PhysicalMachine(
+            pm_id=pm_id,
+            mips=pm_mips,
+            ram_mb=pm_ram_mb,
+            bandwidth_mbps=PM_BANDWIDTH_MBPS,
+            power_model=model,
+        )
+        for pm_id in range(num_pms)
+    ]
+    vms = [
+        VirtualMachine(
+            vm_id=vm_id,
+            mips=vm_mips,
+            ram_mb=vm_ram_mb,
+            bandwidth_mbps=VM_BANDWIDTH_MBPS,
+        )
+        for vm_id in range(num_vms)
+    ]
+    return pms, vms
+
+
+def build_simulation(
+    workload: Workload,
+    num_pms: int,
+    num_vms: Optional[int] = None,
+    config: Optional[SimulationConfig] = None,
+    placement: str = "first-fit",
+    fleet_seed: int = 0,
+    heterogeneous: bool = True,
+    fleet_style: str = "planetlab",
+) -> Simulation:
+    """Assemble a :class:`Simulation` from a workload and fleet parameters.
+
+    ``num_vms`` defaults to the workload's VM count.  ``placement`` names
+    an initial-allocation policy (``first-fit``, ``round-robin``,
+    ``random``, ``balanced``).  ``fleet_style`` selects the VM sizing:
+    ``planetlab`` (big slices) or ``google`` (small task footprints).
+    """
+    vms_needed = num_vms if num_vms is not None else workload.num_vms
+    if placement not in PLACEMENT_POLICIES:
+        raise ConfigurationError(
+            f"unknown placement {placement!r}; "
+            f"choose from {sorted(PLACEMENT_POLICIES)}"
+        )
+    if fleet_style not in ("planetlab", "google"):
+        raise ConfigurationError(
+            f"unknown fleet style {fleet_style!r}"
+        )
+    if heterogeneous:
+        if fleet_style == "google":
+            pms, vms = make_planetlab_fleet(
+                num_pms,
+                vms_needed,
+                seed=fleet_seed,
+                vm_ram_range_mb=GOOGLE_VM_RAM_RANGE_MB,
+                vm_mips_range=GOOGLE_VM_MIPS_RANGE,
+            )
+        else:
+            pms, vms = make_planetlab_fleet(
+                num_pms, vms_needed, seed=fleet_seed
+            )
+    else:
+        pms, vms = make_uniform_fleet(num_pms, vms_needed)
+    datacenter = Datacenter(pms, vms)
+    policy = PLACEMENT_POLICIES[placement]
+    if placement == "random":
+        policy(datacenter, seed=fleet_seed)
+    else:
+        policy(datacenter)
+    sim_config = config or SimulationConfig(
+        num_steps=min(workload.num_steps, SimulationConfig().num_steps)
+    )
+    return Simulation(datacenter, workload, sim_config)
+
+
+def build_planetlab_simulation(
+    num_pms: int = 20,
+    num_vms: int = 30,
+    num_steps: int = 288,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    placement: str = "first-fit",
+) -> Simulation:
+    """PlanetLab-style experiment in one call (synthetic trace)."""
+    workload = generate_planetlab_workload(
+        num_vms=num_vms, num_steps=num_steps, seed=seed
+    )
+    sim_config = config or SimulationConfig(num_steps=num_steps, seed=seed)
+    return build_simulation(
+        workload,
+        num_pms=num_pms,
+        num_vms=num_vms,
+        config=sim_config,
+        placement=placement,
+        fleet_seed=seed,
+    )
+
+
+def build_google_simulation(
+    num_pms: int = 20,
+    num_vms: int = 60,
+    num_steps: int = 288,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    placement: str = "first-fit",
+) -> Simulation:
+    """Google-Cluster-style experiment in one call (synthetic trace).
+
+    Defaults to the paper's denser VM:PM ratio (500 PMs hosting 2000
+    task-VMs) with small task footprints.
+    """
+    workload = generate_google_workload(
+        num_vms=num_vms, num_steps=num_steps, seed=seed
+    )
+    sim_config = config or SimulationConfig(num_steps=num_steps, seed=seed)
+    return build_simulation(
+        workload,
+        num_pms=num_pms,
+        num_vms=num_vms,
+        config=sim_config,
+        placement=placement,
+        fleet_seed=seed,
+        fleet_style="google",
+    )

@@ -1,0 +1,379 @@
+"""Experiment presets: one entry per table/figure of the paper's Section 6.
+
+Each preset captures the workload, fleet, schedulers, and horizon of one
+experiment at *bench scale* — reduced from the paper's 800-PM/7-day runs
+so a bench finishes in seconds while preserving the qualitative shape
+(who wins, by roughly what factor, where crossovers fall).  Full-scale
+parameters are kept alongside for reference and for users with time to
+burn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloudsim.simulation import Simulation, SimulationResult
+from repro.config import MeghConfig, SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.harness.builders import (
+    build_google_simulation,
+    build_planetlab_simulation,
+)
+from repro.harness.runner import (
+    SchedulerFactory,
+    madvm_factory,
+    megh_factory,
+    mmt_factories,
+    run_comparison,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """Scale parameters of one reproduced experiment."""
+
+    experiment_id: str
+    description: str
+    workload: str  # "planetlab" | "google"
+    num_pms: int
+    num_vms: int
+    num_steps: int
+    seed: int = 0
+    placement: str = "first-fit"
+    paper_scale: str = ""
+
+    def build(self, config: Optional[SimulationConfig] = None) -> Simulation:
+        """Build the simulation for this preset."""
+        builder = (
+            build_planetlab_simulation
+            if self.workload == "planetlab"
+            else build_google_simulation
+        )
+        return builder(
+            num_pms=self.num_pms,
+            num_vms=self.num_vms,
+            num_steps=self.num_steps,
+            seed=self.seed,
+            placement=self.placement,
+            config=config,
+        )
+
+
+#: Bench-scale presets, keyed by experiment id.
+PRESETS: Dict[str, ExperimentPreset] = {
+    "table2": ExperimentPreset(
+        experiment_id="table2",
+        description="PlanetLab: MMT family vs Megh (total cost, "
+        "migrations, active hosts, exec time)",
+        workload="planetlab",
+        num_pms=40,
+        num_vms=52,
+        num_steps=600,
+        paper_scale="800 PMs / 1052 VMs / 2016 steps (7 days)",
+    ),
+    "table3": ExperimentPreset(
+        experiment_id="table3",
+        description="Google Cluster: MMT family vs Megh",
+        workload="google",
+        num_pms=25,
+        num_vms=100,
+        num_steps=600,
+        paper_scale="500 PMs / 2000 VMs / 2016 steps",
+    ),
+    "fig2": ExperimentPreset(
+        experiment_id="fig2",
+        description="PlanetLab: Megh vs THR-MMT per-step series",
+        workload="planetlab",
+        num_pms=40,
+        num_vms=52,
+        num_steps=600,
+        paper_scale="as Table 2",
+    ),
+    "fig3": ExperimentPreset(
+        experiment_id="fig3",
+        description="Google: Megh vs THR-MMT per-step series",
+        workload="google",
+        num_pms=25,
+        num_vms=100,
+        num_steps=600,
+        paper_scale="as Table 3",
+    ),
+    "fig4": ExperimentPreset(
+        experiment_id="fig4",
+        description="PlanetLab subset: Megh vs MadVM",
+        workload="planetlab",
+        num_pms=20,
+        num_vms=30,
+        num_steps=864,
+        placement="random",
+        paper_scale="100 PMs / 150 VMs / 3 days, uniform random placement",
+    ),
+    "fig5": ExperimentPreset(
+        experiment_id="fig5",
+        description="Google subset: Megh vs MadVM",
+        workload="google",
+        num_pms=20,
+        num_vms=40,
+        num_steps=864,
+        placement="random",
+        paper_scale="100 PMs / 150 VMs / 3 days, uniform random placement",
+    ),
+}
+
+
+def run_table_experiment(
+    preset: ExperimentPreset,
+    include_madvm: bool = False,
+    num_steps: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, SimulationResult]:
+    """Run the Table-2/3 line-up on a preset."""
+    effective_seed = preset.seed if seed is None else seed
+    simulation = ExperimentPreset(
+        **{
+            **preset.__dict__,
+            "seed": effective_seed,
+        }
+    ).build()
+    factories: Dict[str, SchedulerFactory] = dict(mmt_factories())
+    factories["Megh"] = megh_factory(seed=effective_seed)
+    if include_madvm:
+        factories["MadVM"] = madvm_factory(seed=effective_seed)
+    return run_comparison(simulation, factories, num_steps=num_steps)
+
+
+def run_megh_vs_thr(
+    preset: ExperimentPreset, seed: Optional[int] = None
+) -> Dict[str, SimulationResult]:
+    """Run the Figure-2/3 pair (Megh and THR-MMT) on a preset."""
+    effective_seed = preset.seed if seed is None else seed
+    simulation = ExperimentPreset(
+        **{**preset.__dict__, "seed": effective_seed}
+    ).build()
+    factories = {
+        "THR-MMT": mmt_factories(detectors=("THR",))["THR-MMT"],
+        "Megh": megh_factory(seed=effective_seed),
+    }
+    return run_comparison(simulation, factories)
+
+
+def run_megh_vs_madvm(
+    preset: ExperimentPreset, seed: Optional[int] = None
+) -> Dict[str, SimulationResult]:
+    """Run the Figure-4/5 pair (Megh and MadVM) on a preset."""
+    effective_seed = preset.seed if seed is None else seed
+    simulation = ExperimentPreset(
+        **{**preset.__dict__, "seed": effective_seed}
+    ).build()
+    factories = {
+        "Megh": megh_factory(seed=effective_seed),
+        "MadVM": madvm_factory(seed=effective_seed),
+    }
+    return run_comparison(simulation, factories)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: scalability grid
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Per-step execution time at one (m, n) fleet size."""
+
+    num_pms: int
+    num_vms: int
+    algorithm: str
+    mean_step_ms: float
+
+
+def run_scalability_grid(
+    sizes: Sequence[Tuple[int, int]] = ((10, 13), (20, 26), (40, 52), (80, 104)),
+    num_steps: int = 100,
+    seed: int = 0,
+    algorithms: Sequence[str] = ("THR-MMT", "Megh"),
+) -> List[ScalabilityPoint]:
+    """Measure per-step decision time across fleet sizes (Figure 6).
+
+    The paper's grid is m, n in {100..800}; the bench grid is scaled down
+    but spans the same 8x range so the growth *shape* (THR-MMT superlinear,
+    Megh sublinear, crossover) is visible.
+    """
+    points: List[ScalabilityPoint] = []
+    for num_pms, num_vms in sizes:
+        simulation = build_planetlab_simulation(
+            num_pms=num_pms,
+            num_vms=num_vms,
+            num_steps=num_steps,
+            seed=seed,
+        )
+        factories: Dict[str, SchedulerFactory] = {}
+        if "THR-MMT" in algorithms:
+            factories["THR-MMT"] = mmt_factories(detectors=("THR",))[
+                "THR-MMT"
+            ]
+        if "Megh" in algorithms:
+            factories["Megh"] = megh_factory(seed=seed)
+        results = run_comparison(simulation, factories)
+        for name, result in results.items():
+            points.append(
+                ScalabilityPoint(
+                    num_pms=num_pms,
+                    num_vms=num_vms,
+                    algorithm=name,
+                    mean_step_ms=result.mean_scheduler_ms,
+                )
+            )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Figure 7: Q-table growth
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QTableGrowth:
+    """Q-table non-zero series for one fleet size (N = M)."""
+
+    num_pms: int
+    steps: Tuple[int, ...]
+    nonzeros: Tuple[int, ...]
+    slope: float
+    intercept: float
+
+
+def run_qtable_growth(
+    pm_counts: Sequence[int] = (10, 20, 40),
+    num_steps: int = 300,
+    seed: int = 0,
+) -> List[QTableGrowth]:
+    """Track Q-table non-zeros over time for several fleet sizes (Fig 7).
+
+    The paper sets N = M and observes linear growth in time with a
+    vertical shift roughly linear in the number of PMs.
+    """
+    growths: List[QTableGrowth] = []
+    for num_pms in pm_counts:
+        simulation = build_planetlab_simulation(
+            num_pms=num_pms,
+            num_vms=num_pms,
+            num_steps=num_steps,
+            seed=seed,
+        )
+        scheduler = MeghScheduler.from_simulation(simulation, seed=seed)
+        simulation.run(scheduler)
+        tracker = scheduler.qtable
+        growths.append(
+            QTableGrowth(
+                num_pms=num_pms,
+                steps=tuple(tracker.steps),
+                nonzeros=tuple(tracker.nonzeros),
+                slope=tracker.growth_rate(),
+                intercept=tracker.intercept(),
+            )
+        )
+    return growths
+
+
+# ----------------------------------------------------------------------
+# Figure 8: parameter sensitivity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Per-step cost distribution for one parameter value."""
+
+    parameter: str
+    value: float
+    median_cost: float
+    p10_cost: float
+    p90_cost: float
+    repeats: int
+
+
+def _per_step_costs(result: SimulationResult) -> List[float]:
+    return result.metrics.per_step_cost_series()
+
+
+def run_temperature_sensitivity(
+    temperatures: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0),
+    epsilon: float = 0.001,
+    repeats: int = 3,
+    num_pms: int = 16,
+    num_vms: int = 21,
+    num_steps: int = 300,
+) -> List[SensitivityPoint]:
+    """Sweep Temp0 (Figure 8(a)); the paper's sweep is 0.5..10 step 0.5
+    with 25 repeats and epsilon fixed at 0.001."""
+    return _sweep(
+        "Temp0",
+        temperatures,
+        lambda value: MeghConfig(
+            initial_temperature=value, temperature_decay=epsilon
+        ),
+        repeats,
+        num_pms,
+        num_vms,
+        num_steps,
+    )
+
+
+def run_epsilon_sensitivity(
+    epsilons: Sequence[float] = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0),
+    temperature: float = 1.0,
+    repeats: int = 3,
+    num_pms: int = 16,
+    num_vms: int = 21,
+    num_steps: int = 300,
+) -> List[SensitivityPoint]:
+    """Sweep epsilon (Figure 8(b)); the paper uses 30 log-spaced values in
+    [1e-3, 1] with Temp0 fixed at 1."""
+    return _sweep(
+        "epsilon",
+        epsilons,
+        lambda value: MeghConfig(
+            initial_temperature=temperature, temperature_decay=value
+        ),
+        repeats,
+        num_pms,
+        num_vms,
+        num_steps,
+    )
+
+
+def _sweep(
+    parameter: str,
+    values: Sequence[float],
+    config_for,
+    repeats: int,
+    num_pms: int,
+    num_vms: int,
+    num_steps: int,
+) -> List[SensitivityPoint]:
+    points: List[SensitivityPoint] = []
+    for value in values:
+        costs: List[float] = []
+        for repeat in range(repeats):
+            simulation = build_planetlab_simulation(
+                num_pms=num_pms,
+                num_vms=num_vms,
+                num_steps=num_steps,
+                seed=repeat,
+            )
+            scheduler = MeghScheduler.from_simulation(
+                simulation, config=config_for(value), seed=repeat
+            )
+            result = simulation.run(scheduler)
+            costs.extend(_per_step_costs(result))
+        data = np.asarray(costs)
+        points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                value=float(value),
+                median_cost=float(np.median(data)),
+                p10_cost=float(np.quantile(data, 0.10)),
+                p90_cost=float(np.quantile(data, 0.90)),
+                repeats=repeats,
+            )
+        )
+    return points

@@ -1,0 +1,112 @@
+"""Figure-series extraction (Figures 2–5 panels a–d, and helpers for 6–8).
+
+The paper's comparison figures all share the same four panels per
+workload: (a) per-step operation cost, (b) cumulative migrations,
+(c) active hosts, (d) per-step execution time.  :func:`figure_series`
+extracts all four from a :class:`SimulationResult`; the benches print
+them as aligned text series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cloudsim.simulation import SimulationResult
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """The four panel series for one algorithm."""
+
+    algorithm: str
+    per_step_cost_usd: Sequence[float]
+    cumulative_migrations: Sequence[int]
+    active_hosts: Sequence[int]
+    exec_time_ms: Sequence[float]
+    convergence_step: int
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.per_step_cost_usd)
+
+
+def figure_series(result: SimulationResult) -> FigureSeries:
+    """Extract the four panel series from a run."""
+    metrics = result.metrics
+    return FigureSeries(
+        algorithm=result.scheduler_name,
+        per_step_cost_usd=metrics.per_step_cost_series(),
+        cumulative_migrations=metrics.cumulative_migration_series(),
+        active_hosts=metrics.active_host_series(),
+        exec_time_ms=metrics.scheduler_time_series_ms(),
+        convergence_step=metrics.convergence_step(),
+    )
+
+
+def downsample(values: Sequence[float], points: int = 12) -> List[float]:
+    """Pick ``points`` evenly spaced samples for compact text output."""
+    if points <= 0 or not values:
+        return []
+    if len(values) <= points:
+        return list(values)
+    step = (len(values) - 1) / (points - 1)
+    return [values[round(i * step)] for i in range(points)]
+
+
+def render_panel(
+    label: str,
+    series_by_algorithm: Dict[str, Sequence[float]],
+    points: int = 12,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render one figure panel as aligned text rows."""
+    lines = [f"-- {label} --"]
+    width = max(len(name) for name in series_by_algorithm)
+    for name, series in series_by_algorithm.items():
+        samples = downsample(list(series), points)
+        rendered = " ".join(fmt.format(v) for v in samples)
+        lines.append(f"{name.ljust(width)} : {rendered}")
+    return "\n".join(lines)
+
+
+def render_figure(
+    series: Sequence[FigureSeries], title: str, points: int = 12
+) -> str:
+    """Render all four panels (a)–(d) for a set of algorithms."""
+    blocks = [title]
+    blocks.append(
+        render_panel(
+            "(a) per-step cost (USD)",
+            {s.algorithm: s.per_step_cost_usd for s in series},
+            points,
+        )
+    )
+    blocks.append(
+        render_panel(
+            "(b) cumulative migrations",
+            {s.algorithm: s.cumulative_migrations for s in series},
+            points,
+            fmt="{:.0f}",
+        )
+    )
+    blocks.append(
+        render_panel(
+            "(c) active hosts",
+            {s.algorithm: s.active_hosts for s in series},
+            points,
+            fmt="{:.0f}",
+        )
+    )
+    blocks.append(
+        render_panel(
+            "(d) execution time (ms)",
+            {s.algorithm: s.exec_time_ms for s in series},
+            points,
+        )
+    )
+    blocks.append(
+        "convergence steps: "
+        + ", ".join(f"{s.algorithm}={s.convergence_step}" for s in series)
+    )
+    return "\n\n".join(blocks)

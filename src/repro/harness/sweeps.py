@@ -1,0 +1,117 @@
+"""Generic parameter sweeps over Megh configurations.
+
+Figure 8 sweeps two specific knobs; research use wants arbitrary ones
+("what if gamma were 0.9 and the cap 10 %?").  :func:`sweep_megh` runs a
+grid over any :class:`~repro.config.MeghConfig` fields (one simulation
+rebuild per cell per seed), aggregates per-step-cost distributions, and
+returns typed results the sensitivity benches and notebooks can render.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloudsim.simulation import Simulation
+from repro.config import MeghConfig
+from repro.core.agent import MeghScheduler
+from repro.errors import ConfigurationError
+
+#: Builds a fresh simulation for a given seed.
+SimulationBuilder = Callable[[int], Simulation]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point's aggregated outcome."""
+
+    parameters: Tuple[Tuple[str, object], ...]
+    median_step_cost: float
+    p10_step_cost: float
+    p90_step_cost: float
+    mean_total_cost: float
+    mean_migrations: float
+    repeats: int
+
+    def parameter_dict(self) -> Dict[str, object]:
+        return dict(self.parameters)
+
+
+def sweep_megh(
+    builder: SimulationBuilder,
+    grid: Dict[str, Sequence[object]],
+    base_config: MeghConfig | None = None,
+    seeds: Sequence[int] = (0,),
+) -> List[SweepCell]:
+    """Run Megh over the Cartesian product of ``grid``'s values.
+
+    ``grid`` maps :class:`MeghConfig` field names to the values to try;
+    unknown field names raise immediately.  Each cell runs once per
+    seed; per-step costs pool across seeds.
+    """
+    if not grid:
+        raise ConfigurationError("grid must name at least one parameter")
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    base = base_config or MeghConfig()
+    valid_fields = set(base.__dataclass_fields__)
+    for name in grid:
+        if name not in valid_fields:
+            raise ConfigurationError(
+                f"unknown MeghConfig field {name!r}; "
+                f"valid fields: {sorted(valid_fields)}"
+            )
+    cells: List[SweepCell] = []
+    names = list(grid)
+    for values in itertools.product(*(grid[name] for name in names)):
+        overrides = dict(zip(names, values))
+        config = replace(base, **overrides)
+        step_costs: List[float] = []
+        totals: List[float] = []
+        migrations: List[float] = []
+        for seed in seeds:
+            simulation = builder(seed)
+            agent = MeghScheduler.from_simulation(
+                simulation, config=config, seed=seed
+            )
+            result = simulation.run(agent)
+            step_costs.extend(result.metrics.per_step_cost_series())
+            totals.append(result.total_cost_usd)
+            migrations.append(float(result.total_migrations))
+        data = np.asarray(step_costs)
+        cells.append(
+            SweepCell(
+                parameters=tuple(zip(names, values)),
+                median_step_cost=float(np.median(data)),
+                p10_step_cost=float(np.quantile(data, 0.10)),
+                p90_step_cost=float(np.quantile(data, 0.90)),
+                mean_total_cost=float(np.mean(totals)),
+                mean_migrations=float(np.mean(migrations)),
+                repeats=len(seeds),
+            )
+        )
+    return cells
+
+
+def best_cell(cells: Sequence[SweepCell]) -> SweepCell:
+    """The grid point with the lowest mean total cost."""
+    if not cells:
+        raise ConfigurationError("no sweep cells to choose from")
+    return min(cells, key=lambda cell: cell.mean_total_cost)
+
+
+def render_sweep(cells: Sequence[SweepCell], title: str = "") -> str:
+    """Plain-text table of a sweep, one row per grid point."""
+    lines = [title] if title else []
+    for cell in cells:
+        params = ", ".join(f"{k}={v}" for k, v in cell.parameters)
+        lines.append(
+            f"{params}: median/step={cell.median_step_cost:.4f} "
+            f"[{cell.p10_step_cost:.4f}, {cell.p90_step_cost:.4f}] "
+            f"total={cell.mean_total_cost:.2f} "
+            f"migrations={cell.mean_migrations:.0f}"
+        )
+    return "\n".join(lines)

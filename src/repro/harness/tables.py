@@ -1,0 +1,56 @@
+"""Plain-text rendering of Table 2/3-style comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cloudsim.simulation import SimulationResult
+
+#: Table 2/3 row labels, in the paper's order.
+TABLE_ROWS = (
+    ("Total cost (USD)", lambda r: f"{r.total_cost_usd:.2f}"),
+    ("#VM migrations", lambda r: str(r.total_migrations)),
+    ("#Active hosts", lambda r: f"{r.mean_active_hosts:.1f}"),
+    ("Execution time (ms)", lambda r: f"{r.mean_scheduler_ms:.3f}"),
+)
+
+
+def comparison_table(
+    results: Dict[str, SimulationResult], title: str = ""
+) -> List[List[str]]:
+    """Build the Table-2/3 grid: metrics as rows, algorithms as columns."""
+    names = list(results)
+    grid: List[List[str]] = [["Algorithm", *names]]
+    for label, extractor in TABLE_ROWS:
+        grid.append([label, *(extractor(results[name]) for name in names)])
+    if title:
+        grid.insert(0, [title])
+    return grid
+
+
+def format_table(grid: Sequence[Sequence[str]]) -> str:
+    """Render a grid with aligned columns."""
+    body = [row for row in grid if len(row) > 1]
+    titles = [row[0] for row in grid if len(row) == 1]
+    if not body:
+        return "\n".join(titles)
+    widths = [0] * max(len(row) for row in body)
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = list(titles)
+    for row_index, row in enumerate(body):
+        line = "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    results: Dict[str, SimulationResult], title: str = ""
+) -> str:
+    """One-call convenience: build and format a comparison table."""
+    return format_table(comparison_table(results, title=title))

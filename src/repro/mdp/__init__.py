@@ -1,0 +1,14 @@
+"""MDP formalization of live migration (Section 4): states, actions, interfaces."""
+
+from repro.mdp.action import ActionSpace, MigrationAction
+from repro.mdp.state import DatacenterState, observe_state
+from repro.mdp.interfaces import Observation, Scheduler
+
+__all__ = [
+    "ActionSpace",
+    "MigrationAction",
+    "DatacenterState",
+    "observe_state",
+    "Observation",
+    "Scheduler",
+]

@@ -1,0 +1,73 @@
+"""Action space of the live-migration MDP (Section 4).
+
+An action is a pair ``(j, k)`` — migrate VM ``j`` to PM ``k``.  The action
+space has exactly ``d = N x M`` members, matching the dimension of Megh's
+projection space: each action maps to the basis vector with a single 1 at
+index ``j * M + k``.  Moving a VM to its current host encodes "do nothing
+for j", which keeps the space complete without an extra no-op symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class MigrationAction:
+    """Migrate VM ``vm_id`` to PM ``dest_pm_id``."""
+
+    vm_id: int
+    dest_pm_id: int
+
+
+class ActionSpace:
+    """Dense indexing of all ``N x M`` migration actions.
+
+    Args:
+        num_vms: N.
+        num_pms: M.
+    """
+
+    def __init__(self, num_vms: int, num_pms: int) -> None:
+        if num_vms < 1 or num_pms < 1:
+            raise ConfigurationError("need at least one VM and one PM")
+        self.num_vms = num_vms
+        self.num_pms = num_pms
+
+    @property
+    def dimension(self) -> int:
+        """``d = N x M`` — also the dimension of Megh's projection space."""
+        return self.num_vms * self.num_pms
+
+    def index(self, action: MigrationAction) -> int:
+        """Dense index of an action: ``j * M + k``."""
+        if not 0 <= action.vm_id < self.num_vms:
+            raise ConfigurationError(
+                f"vm_id {action.vm_id} out of range [0, {self.num_vms})"
+            )
+        if not 0 <= action.dest_pm_id < self.num_pms:
+            raise ConfigurationError(
+                f"dest_pm_id {action.dest_pm_id} out of range [0, {self.num_pms})"
+            )
+        return action.vm_id * self.num_pms + action.dest_pm_id
+
+    def action(self, index: int) -> MigrationAction:
+        """Inverse of :meth:`index`."""
+        if not 0 <= index < self.dimension:
+            raise ConfigurationError(
+                f"action index {index} out of range [0, {self.dimension})"
+            )
+        return MigrationAction(
+            vm_id=index // self.num_pms, dest_pm_id=index % self.num_pms
+        )
+
+    def is_noop(self, action: MigrationAction, current_host: int) -> bool:
+        """Whether the action leaves the VM where it is."""
+        return action.dest_pm_id == current_host
+
+    def actions_for_vm(self, vm_id: int):
+        """All M actions migrating a given VM (generator)."""
+        for pm_id in range(self.num_pms):
+            yield MigrationAction(vm_id=vm_id, dest_pm_id=pm_id)

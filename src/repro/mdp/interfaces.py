@@ -1,0 +1,51 @@
+"""Scheduler interface shared by Megh and every baseline.
+
+The simulation driver calls :meth:`Scheduler.decide` once per observation
+interval with an :class:`Observation` (state snapshot, utilization
+histories, the cost charged last step, and a live read-only view of the
+data center for feasibility checks) and applies the returned migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, runtime_checkable
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.migration import Migration
+from repro.cloudsim.monitor import UtilizationMonitor
+from repro.mdp.state import DatacenterState
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything a scheduler may look at when deciding migrations.
+
+    Attributes:
+        step: current simulation step (0-based).
+        state: immutable MDP-state snapshot.
+        datacenter: live data center — schedulers must treat it as
+            read-only; the driver applies their decisions.
+        monitor: rolling utilization histories (the VMM feed).
+        last_step_cost_usd: Eq. (6) cost charged for the previous
+            interval; 0 at the first step.
+        interval_seconds: length of one observation interval.
+    """
+
+    step: int
+    state: DatacenterState
+    datacenter: Datacenter
+    monitor: UtilizationMonitor
+    last_step_cost_usd: float
+    interval_seconds: float
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """A live-migration decision maker."""
+
+    name: str
+
+    def decide(self, observation: Observation) -> List[Migration]:
+        """Return the migrations to start this interval (possibly none)."""
+        ...

@@ -1,0 +1,122 @@
+"""Queueing-model workload: Poisson arrivals of exponential jobs.
+
+Section 3.1 discusses (and Section 7 plans to exploit) the line of work
+that models incoming VM workload as a queueing system — jobs arriving as
+a Poisson process and holding resources for exponentially distributed
+service times ([30]-[33] in the paper).  This generator realises that
+model: each VM is a server fed by its own M/M/1-style stream; jobs
+arriving while one is running queue up, and the VM's CPU demand while
+busy is the job's draw.  Megh remains model-free — the queueing trace is
+just another workload — which is exactly the paper's point about
+generality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import ArrayWorkload
+
+
+@dataclass(frozen=True)
+class QueueingWorkloadConfig:
+    """Knobs of the Poisson-arrival workload generator.
+
+    Attributes:
+        num_vms: number of VM streams.
+        num_steps: trace length in intervals.
+        arrival_rate: expected job arrivals per interval per VM
+            (the Poisson intensity ``lambda``).
+        mean_service_steps: mean job duration in intervals (exponential,
+            ``1/mu``).
+        utilization_low / utilization_high: per-job CPU demand drawn
+            uniformly from this range.
+        seed: RNG seed.
+
+    With ``rho = arrival_rate * mean_service_steps < 1`` each stream is a
+    stable M/M/1 queue; ``rho >= 1`` produces a saturating stream.
+    """
+
+    num_vms: int = 32
+    num_steps: int = 288
+    arrival_rate: float = 0.10
+    mean_service_steps: float = 6.0
+    utilization_low: float = 0.20
+    utilization_high: float = 0.80
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_vms < 1 or self.num_steps < 1:
+            raise ConfigurationError("need at least one VM and one step")
+        if self.arrival_rate < 0:
+            raise ConfigurationError("arrival rate must be >= 0")
+        if self.mean_service_steps <= 0:
+            raise ConfigurationError("mean service time must be > 0")
+        if not 0 <= self.utilization_low <= self.utilization_high <= 1:
+            raise ConfigurationError(
+                "need 0 <= utilization_low <= utilization_high <= 1"
+            )
+
+    @property
+    def offered_load(self) -> float:
+        """``rho = lambda / mu`` of each stream."""
+        return self.arrival_rate * self.mean_service_steps
+
+
+def generate_queueing_workload(
+    config: QueueingWorkloadConfig | None = None,
+    **overrides,
+) -> ArrayWorkload:
+    """Generate a Poisson-arrival / exponential-service workload."""
+    if config is None:
+        config = QueueingWorkloadConfig(**overrides)
+    elif overrides:
+        raise ConfigurationError("pass either a config or overrides, not both")
+    rng = np.random.default_rng(config.seed)
+    n, t = config.num_vms, config.num_steps
+    matrix = np.zeros((n, t))
+    active = np.zeros((n, t), dtype=bool)
+
+    for vm_id in range(n):
+        queue: list[tuple[int, float]] = []  # (remaining steps, demand)
+        for step in range(t):
+            arrivals = rng.poisson(config.arrival_rate)
+            for _ in range(arrivals):
+                duration = max(
+                    1, int(round(rng.exponential(config.mean_service_steps)))
+                )
+                demand = float(
+                    rng.uniform(
+                        config.utilization_low, config.utilization_high
+                    )
+                )
+                queue.append((duration, demand))
+            if queue:
+                remaining, demand = queue[0]
+                matrix[vm_id, step] = demand
+                active[vm_id, step] = True
+                remaining -= 1
+                if remaining <= 0:
+                    queue.pop(0)
+                else:
+                    queue[0] = (remaining, demand)
+    return ArrayWorkload(
+        matrix,
+        active,
+        name=(
+            f"queueing(lambda={config.arrival_rate}, "
+            f"rho={config.offered_load:.2f}, seed={config.seed})"
+        ),
+    )
+
+
+def expected_busy_fraction(config: QueueingWorkloadConfig) -> float:
+    """Long-run probability a stream is busy: ``min(1, rho)``.
+
+    For an M/M/1 queue the server's busy fraction equals the offered
+    load while the queue is stable; saturated streams are always busy.
+    """
+    return min(1.0, config.offered_load)

@@ -1,0 +1,87 @@
+"""Simple synthetic workload shapes for tests, examples, and ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import ArrayWorkload
+
+
+def constant_workload(
+    num_vms: int, num_steps: int, level: float = 0.5
+) -> ArrayWorkload:
+    """Every VM demands ``level`` at every step."""
+    if not 0.0 <= level <= 1.0:
+        raise ConfigurationError("level must be in [0, 1]")
+    matrix = np.full((num_vms, num_steps), level, dtype=float)
+    return ArrayWorkload(matrix, name=f"constant({level})")
+
+
+def periodic_workload(
+    num_vms: int,
+    num_steps: int,
+    low: float = 0.1,
+    high: float = 0.8,
+    period: int = 48,
+    phase_shift: bool = True,
+) -> ArrayWorkload:
+    """Sinusoidal diurnal pattern between ``low`` and ``high``.
+
+    With ``phase_shift`` each VM gets a different phase, producing the
+    staggered peaks a real fleet shows.
+    """
+    if not 0.0 <= low <= high <= 1.0:
+        raise ConfigurationError("need 0 <= low <= high <= 1")
+    if period < 2:
+        raise ConfigurationError("period must be >= 2")
+    steps = np.arange(num_steps)
+    matrix = np.zeros((num_vms, num_steps), dtype=float)
+    for vm_id in range(num_vms):
+        phase = (2 * np.pi * vm_id / num_vms) if phase_shift else 0.0
+        wave = 0.5 * (1 + np.sin(2 * np.pi * steps / period + phase))
+        matrix[vm_id] = low + (high - low) * wave
+    return ArrayWorkload(matrix, name="periodic")
+
+
+def random_walk_workload(
+    num_vms: int,
+    num_steps: int,
+    start: float = 0.3,
+    step_std: float = 0.05,
+    seed: int = 0,
+) -> ArrayWorkload:
+    """Reflected Gaussian random walk per VM — maximal uncertainty."""
+    if not 0.0 <= start <= 1.0:
+        raise ConfigurationError("start must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    matrix = np.zeros((num_vms, num_steps), dtype=float)
+    level = np.full(num_vms, start, dtype=float)
+    for step in range(num_steps):
+        level = level + rng.normal(0.0, step_std, size=num_vms)
+        # Reflect at the [0, 1] boundaries.
+        level = np.abs(level)
+        level = 1.0 - np.abs(1.0 - level)
+        level = np.clip(level, 0.0, 1.0)
+        matrix[:, step] = level
+    return ArrayWorkload(matrix, name="random-walk")
+
+
+def spike_workload(
+    num_vms: int,
+    num_steps: int,
+    base: float = 0.1,
+    spike: float = 0.9,
+    spike_probability: float = 0.05,
+    seed: int = 0,
+) -> ArrayWorkload:
+    """Low base load with random one-step spikes — stresses overload logic."""
+    if not 0.0 <= base <= 1.0 or not 0.0 <= spike <= 1.0:
+        raise ConfigurationError("base and spike must be in [0, 1]")
+    if not 0.0 <= spike_probability <= 1.0:
+        raise ConfigurationError("spike probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    matrix = np.full((num_vms, num_steps), base, dtype=float)
+    spikes = rng.random((num_vms, num_steps)) < spike_probability
+    matrix[spikes] = spike
+    return ArrayWorkload(matrix, name="spiky")

@@ -1,0 +1,135 @@
+"""Tests for the MMT overload detectors (THR/IQR/MAD/LR/LRR)."""
+
+import pytest
+
+from repro.baselines.mmt.detection import (
+    IqrDetector,
+    LocalRegressionDetector,
+    MadDetector,
+    RobustLocalRegressionDetector,
+    ThresholdDetector,
+    make_detector,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThr:
+    def test_fires_above_threshold(self):
+        detector = ThresholdDetector(utilization_threshold=0.7)
+        assert detector.is_overloaded([0.5, 0.75])
+        assert not detector.is_overloaded([0.75, 0.5])
+
+    def test_boundary_not_overloaded(self):
+        detector = ThresholdDetector(utilization_threshold=0.7)
+        assert not detector.is_overloaded([0.7])
+
+    def test_empty_history(self):
+        assert not ThresholdDetector().is_overloaded([])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdDetector(utilization_threshold=1.5)
+
+
+class TestIqr:
+    def test_adaptive_threshold_formula(self):
+        detector = IqrDetector(safety=1.5, max_threshold=1.0)
+        history = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+        # IQR = 0.35 -> threshold = 1 - 1.5*0.35 = 0.475.
+        assert detector.threshold(history) == pytest.approx(0.475)
+
+    def test_volatile_history_lowers_threshold(self):
+        detector = IqrDetector(max_threshold=1.0)
+        stable = [0.5] * 8
+        volatile = [0.1, 0.9] * 4
+        assert detector.threshold(volatile) < detector.threshold(stable)
+
+    def test_threshold_capped_at_max(self):
+        detector = IqrDetector(max_threshold=0.7)
+        assert detector.threshold([0.5] * 8) == pytest.approx(0.7)
+
+    def test_short_history_uses_fallback(self):
+        detector = IqrDetector(fallback_threshold=0.6)
+        assert detector.threshold([0.5, 0.5]) == 0.6
+
+    def test_threshold_floor(self):
+        detector = IqrDetector(safety=100.0)
+        assert detector.threshold([0.0, 1.0, 0.0, 1.0]) == pytest.approx(0.05)
+
+
+class TestMad:
+    def test_formula(self):
+        detector = MadDetector(safety=2.5, max_threshold=1.0)
+        history = [0.2, 0.4, 0.6]
+        # median 0.4; MAD = median(|x-0.4|) = 0.2 -> 1 - 0.5 = 0.5.
+        assert detector.threshold(history) == pytest.approx(0.5)
+
+    def test_constant_history_threshold_at_cap(self):
+        detector = MadDetector(max_threshold=0.7)
+        assert detector.threshold([0.3] * 10) == pytest.approx(0.7)
+
+    def test_overload_decision(self):
+        detector = MadDetector()
+        assert detector.is_overloaded([0.3, 0.3, 0.3, 0.95])
+
+
+class TestLr:
+    def test_predicts_rising_trend(self):
+        detector = LocalRegressionDetector(safety=1.2)
+        rising = [0.3, 0.4, 0.5, 0.6]  # next ~0.7; 1.2*0.7 = 0.84 >= 0.7
+        assert detector.is_overloaded(rising)
+
+    def test_flat_low_history_not_overloaded(self):
+        detector = LocalRegressionDetector()
+        assert not detector.is_overloaded([0.2, 0.2, 0.2, 0.2])
+
+    def test_falling_trend_not_overloaded(self):
+        detector = LocalRegressionDetector()
+        assert not detector.is_overloaded([0.9, 0.7, 0.5, 0.3])
+
+    def test_short_history_falls_back_to_threshold(self):
+        detector = LocalRegressionDetector(fallback_threshold=0.7)
+        assert detector.is_overloaded([0.8])
+        assert not detector.is_overloaded([0.6])
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LocalRegressionDetector(safety=0.0)
+        with pytest.raises(ConfigurationError):
+            LocalRegressionDetector(min_history=1)
+
+
+class TestLrr:
+    def test_robust_to_outlier(self):
+        # One downward outlier shouldn't mask a rising trend.
+        history = [0.4, 0.5, 0.05, 0.6, 0.65, 0.7]
+        lr = LocalRegressionDetector(safety=1.2)
+        lrr = RobustLocalRegressionDetector(safety=1.2)
+        # LRR's prediction must be at least as high as LR's here.
+        assert lrr._predict_next(history) >= lr._predict_next(history) - 1e-9
+
+    def test_fires_on_clear_trend(self):
+        detector = RobustLocalRegressionDetector()
+        assert detector.is_overloaded([0.4, 0.5, 0.6, 0.7])
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            RobustLocalRegressionDetector(iterations=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["THR", "IQR", "MAD", "LR", "LRR"])
+    def test_builds_all_paper_detectors(self, name):
+        detector = make_detector(name)
+        assert detector.name == name
+
+    def test_case_insensitive(self):
+        assert make_detector("thr").name == "THR"
+
+    def test_kwargs_forwarded(self):
+        detector = make_detector("THR", utilization_threshold=0.9)
+        assert detector.utilization_threshold == 0.9
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_detector("nope")

@@ -1,0 +1,168 @@
+"""Tests for the MadVM reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.madvm import LevelDynamics, MadVMScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.monitor import UtilizationMonitor
+from repro.errors import ConfigurationError
+from repro.mdp.interfaces import Observation
+from repro.mdp.state import observe_state
+
+from tests.conftest import make_pm, make_vm
+
+
+def build_observation(datacenter, step=0):
+    monitor = UtilizationMonitor()
+    monitor.observe(datacenter)
+    return Observation(
+        step=step,
+        state=observe_state(datacenter, step),
+        datacenter=datacenter,
+        monitor=monitor,
+        last_step_cost_usd=0.0,
+        interval_seconds=300.0,
+    )
+
+
+class TestLevelDynamics:
+    def test_level_discretization(self):
+        model = LevelDynamics(levels=10)
+        assert model.level_of(0.0) == 0
+        assert model.level_of(0.05) == 0
+        assert model.level_of(0.15) == 1
+        assert model.level_of(1.0) == 9
+
+    def test_mid_bin_utilization(self):
+        model = LevelDynamics(levels=10)
+        assert model.utilization_of(0) == pytest.approx(0.05)
+        assert model.utilization_of(9) == pytest.approx(0.95)
+
+    def test_transition_counts_accumulate(self):
+        model = LevelDynamics(levels=4, smoothing=1.0)
+        model.observe(0.1)  # level 0
+        model.observe(0.9)  # level 3
+        assert model.counts[0, 3] == 2.0  # smoothing + 1 observation
+
+    def test_transition_matrix_rows_sum_to_one(self):
+        model = LevelDynamics(levels=5)
+        for u in (0.1, 0.5, 0.9, 0.2):
+            model.observe(u)
+        matrix = model.transition_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_expected_future_tracks_sticky_dynamics(self):
+        model = LevelDynamics(levels=10, smoothing=0.01)
+        for _ in range(50):
+            model.observe(0.85)
+        expected = model.expected_future_utilization(0.85, horizon=5, gamma=0.5)
+        assert expected == pytest.approx(0.85, abs=0.05)
+
+    def test_overload_probability_bounds(self):
+        model = LevelDynamics(levels=10)
+        prob = model.overload_probability(0.5, horizon=5, threshold=0.7)
+        assert 0.0 <= prob <= 1.0
+
+    def test_overload_probability_high_when_sticky_high(self):
+        model = LevelDynamics(levels=10, smoothing=0.01)
+        for _ in range(50):
+            model.observe(0.95)
+        assert model.overload_probability(0.95, 3, threshold=0.7) > 0.9
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LevelDynamics(levels=1)
+        with pytest.raises(ConfigurationError):
+            LevelDynamics(levels=5, smoothing=0.0)
+
+
+class TestScheduler:
+    def _dc(self):
+        pms = [make_pm(i) for i in range(3)]
+        vms = [make_vm(j, ram_mb=512.0) for j in range(4)]
+        dc = Datacenter(pms, vms)
+        for j in range(4):
+            dc.place(j, j % 3)
+        return dc
+
+    def test_decisions_are_feasible(self):
+        dc = self._dc()
+        for j in range(4):
+            dc.vm(j).set_demand(0.5)
+        scheduler = MadVMScheduler(num_vms=4, num_pms=3)
+        for step in range(5):
+            migrations = scheduler.decide(build_observation(dc, step))
+            for migration in migrations:
+                assert dc.fits(migration.vm_id, migration.dest_pm_id)
+
+    def test_migration_cap(self):
+        dc = self._dc()
+        scheduler = MadVMScheduler(
+            num_vms=4, num_pms=3, max_migration_fraction=0.25
+        )
+        for j in range(4):
+            dc.vm(j).set_demand(0.9)
+        migrations = scheduler.decide(build_observation(dc))
+        assert len(migrations) <= 1
+
+    def test_inactive_vms_ignored(self):
+        dc = self._dc()
+        for j in range(4):
+            dc.vm(j).set_active(False)
+        scheduler = MadVMScheduler(num_vms=4, num_pms=3)
+        assert scheduler.decide(build_observation(dc)) == []
+
+    def test_bookkeeping_updates_every_step(self):
+        dc = self._dc()
+        scheduler = MadVMScheduler(num_vms=4, num_pms=3)
+        dc.vm(0).set_demand(0.3)
+        scheduler.decide(build_observation(dc, 0))
+        dc.vm(0).set_demand(0.8)
+        scheduler.decide(build_observation(dc, 1))
+        model = scheduler.dynamics[0]
+        assert model.counts[model.level_of(0.3), model.level_of(0.8)] >= 2.0
+
+    def test_qos_weight_induces_spreading(self):
+        # With a dominant QoS term the VM on the busy host moves to an
+        # emptier one even though waking/powering it costs energy.
+        pms = [make_pm(i) for i in range(2)]
+        vms = [make_vm(j, ram_mb=512.0) for j in range(3)]
+        dc = Datacenter(pms, vms)
+        for j in range(3):
+            dc.place(j, 0)
+            dc.vm(j).set_demand(0.6)
+        spreader = MadVMScheduler(
+            num_vms=3, num_pms=2, qos_weight=5000.0,
+            max_migration_fraction=1.0,
+        )
+        migrations = spreader.decide(build_observation(dc))
+        assert migrations, "QoS-dominated MadVM must spread"
+        assert all(m.dest_pm_id == 1 for m in migrations)
+
+    def test_gain_threshold_suppresses_migrations(self):
+        dc = self._dc()
+        for j in range(4):
+            dc.vm(j).set_demand(0.2)
+        scheduler = MadVMScheduler(
+            num_vms=4, num_pms=3, migration_gain_threshold=1e9
+        )
+        assert scheduler.decide(build_observation(dc)) == []
+
+    def test_from_simulation_inherits_beta(self, tiny_simulation):
+        scheduler = MadVMScheduler.from_simulation(tiny_simulation)
+        assert scheduler.beta == pytest.approx(0.70)
+        assert scheduler.num_vms == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vms": 0, "num_pms": 1},
+            {"num_vms": 1, "num_pms": 1, "horizon": 0},
+            {"num_vms": 1, "num_pms": 1, "gamma": 1.0},
+            {"num_vms": 1, "num_pms": 1, "max_migration_fraction": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MadVMScheduler(**kwargs)

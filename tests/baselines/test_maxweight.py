@@ -1,0 +1,125 @@
+"""Tests for the frame-based MaxWeight baseline."""
+
+import pytest
+
+from repro.baselines.maxweight import MaxWeightScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.monitor import UtilizationMonitor
+from repro.errors import ConfigurationError
+from repro.harness.builders import build_planetlab_simulation
+from repro.mdp.interfaces import Observation
+from repro.mdp.state import observe_state
+
+from tests.conftest import make_pm, make_vm
+
+
+def build_observation(datacenter, step=0):
+    monitor = UtilizationMonitor()
+    monitor.observe(datacenter)
+    return Observation(
+        step=step,
+        state=observe_state(datacenter, step),
+        datacenter=datacenter,
+        monitor=monitor,
+        last_step_cost_usd=0.0,
+        interval_seconds=300.0,
+    )
+
+
+@pytest.fixture
+def backlogged_dc():
+    """Host 0 backlogged (demand 95 % > beta 70 %), host 1 nearly empty."""
+    pms = [make_pm(i) for i in range(3)]
+    vms = [make_vm(j, mips=2000.0, ram_mb=512.0) for j in range(3)]
+    dc = Datacenter(pms, vms)
+    dc.place(0, 0)
+    dc.place(1, 0)
+    dc.place(2, 1)
+    dc.vm(0).set_demand(0.95)
+    dc.vm(1).set_demand(0.95)
+    dc.vm(2).set_demand(0.05)
+    return dc
+
+
+class TestFrameStructure:
+    def test_acts_only_at_frame_start(self, backlogged_dc):
+        scheduler = MaxWeightScheduler(frame_length=6)
+        assert scheduler.decide(build_observation(backlogged_dc, step=1)) == []
+        assert scheduler.decide(build_observation(backlogged_dc, step=5)) == []
+        assert scheduler.decide(build_observation(backlogged_dc, step=6)) != []
+
+    def test_frame_length_one_acts_every_step(self, backlogged_dc):
+        scheduler = MaxWeightScheduler(frame_length=1)
+        for step in range(3):
+            migrations = scheduler.decide(
+                build_observation(backlogged_dc, step=step)
+            )
+            assert isinstance(migrations, list)
+
+
+class TestWeights:
+    def test_moves_from_backlogged_host(self, backlogged_dc):
+        scheduler = MaxWeightScheduler()
+        migrations = scheduler.decide(build_observation(backlogged_dc, step=0))
+        assert migrations
+        assert all(
+            backlogged_dc.host_of(m.vm_id) == 0 for m in migrations
+        )
+        assert all(m.dest_pm_id != 0 for m in migrations)
+
+    def test_no_backlog_no_moves(self):
+        pms = [make_pm(0), make_pm(1)]
+        vms = [make_vm(0)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        dc.vm(0).set_demand(0.3)
+        scheduler = MaxWeightScheduler()
+        assert scheduler.decide(build_observation(dc, step=0)) == []
+
+    def test_destination_must_have_spare_service(self):
+        # Both non-source hosts saturated: nothing is feasible.
+        pms = [make_pm(i) for i in range(3)]
+        vms = [make_vm(j, mips=4000.0, ram_mb=512.0) for j in range(3)]
+        dc = Datacenter(pms, vms)
+        for j in range(3):
+            dc.place(j, j)
+            dc.vm(j).set_demand(0.9)
+        scheduler = MaxWeightScheduler()
+        assert scheduler.decide(build_observation(dc, step=0)) == []
+
+    def test_moves_capped_per_frame(self, backlogged_dc):
+        scheduler = MaxWeightScheduler(moves_per_frame=1)
+        migrations = scheduler.decide(build_observation(backlogged_dc, step=0))
+        assert len(migrations) <= 1
+
+    def test_inactive_vms_ignored(self, backlogged_dc):
+        for vm in backlogged_dc.vms:
+            vm.set_active(False)
+        scheduler = MaxWeightScheduler()
+        assert scheduler.decide(build_observation(backlogged_dc, step=0)) == []
+
+
+class TestEndToEnd:
+    def test_runs_full_simulation(self):
+        sim = build_planetlab_simulation(num_pms=6, num_vms=8, num_steps=40)
+        result = sim.run(MaxWeightScheduler())
+        assert len(result.metrics.steps) == 40
+        # Frame structure: migrations only on frame boundaries.
+        for step_metrics in result.metrics.steps:
+            if step_metrics.step % 6 != 0:
+                assert step_metrics.num_migrations_started == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frame_length": 0},
+            {"moves_per_frame": 0},
+            {"beta": 0.0},
+            {"beta": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MaxWeightScheduler(**kwargs)

@@ -1,0 +1,159 @@
+"""Tests for the Q-learning, no-op, and random baselines."""
+
+import pytest
+
+from repro.baselines.noop import NoMigrationScheduler
+from repro.baselines.qlearning import (
+    ACTION_CONSOLIDATE,
+    ACTION_NOOP,
+    ACTION_RELIEVE,
+    NUM_ACTIONS,
+    QLearningScheduler,
+)
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.monitor import UtilizationMonitor
+from repro.errors import ConfigurationError
+from repro.mdp.interfaces import Observation
+from repro.mdp.state import observe_state
+
+from tests.conftest import make_pm, make_vm
+
+
+def build_observation(datacenter, step=0, last_cost=0.0):
+    monitor = UtilizationMonitor()
+    monitor.observe(datacenter)
+    return Observation(
+        step=step,
+        state=observe_state(datacenter, step),
+        datacenter=datacenter,
+        monitor=monitor,
+        last_step_cost_usd=last_cost,
+        interval_seconds=300.0,
+    )
+
+
+class TestNoMigration:
+    def test_never_migrates(self, placed_datacenter):
+        scheduler = NoMigrationScheduler()
+        assert scheduler.decide(build_observation(placed_datacenter)) == []
+
+
+class TestRandom:
+    def test_respects_count(self, placed_datacenter):
+        scheduler = RandomScheduler(migrations_per_step=2, seed=0)
+        migrations = scheduler.decide(build_observation(placed_datacenter))
+        assert len(migrations) <= 2
+
+    def test_zero_migrations(self, placed_datacenter):
+        scheduler = RandomScheduler(migrations_per_step=0)
+        assert scheduler.decide(build_observation(placed_datacenter)) == []
+
+    def test_targets_feasible(self, placed_datacenter):
+        scheduler = RandomScheduler(migrations_per_step=3, seed=1)
+        for migration in scheduler.decide(
+            build_observation(placed_datacenter)
+        ):
+            assert placed_datacenter.fits(
+                migration.vm_id, migration.dest_pm_id
+            )
+
+    def test_deterministic(self, placed_datacenter):
+        a = RandomScheduler(migrations_per_step=2, seed=7).decide(
+            build_observation(placed_datacenter)
+        )
+        b = RandomScheduler(migrations_per_step=2, seed=7).decide(
+            build_observation(placed_datacenter)
+        )
+        assert a == b
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RandomScheduler(migrations_per_step=-1)
+
+
+class TestQLearning:
+    def _overloaded_dc(self):
+        pms = [make_pm(i) for i in range(3)]
+        vms = [make_vm(j, mips=2000.0, ram_mb=512.0) for j in range(3)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        dc.place(1, 0)
+        dc.place(2, 1)
+        dc.vm(0).set_demand(0.9)
+        dc.vm(1).set_demand(0.9)
+        dc.vm(2).set_demand(0.1)
+        return dc
+
+    def test_state_key_buckets(self):
+        scheduler = QLearningScheduler()
+        dc = self._overloaded_dc()
+        overloaded, bucket = scheduler._state_key(build_observation(dc))
+        assert overloaded == 1
+        assert 0 <= bucket < scheduler.utilization_buckets
+
+    def test_relieve_action_moves_from_worst_host(self):
+        scheduler = QLearningScheduler()
+        dc = self._overloaded_dc()
+        migrations = scheduler._relieve(build_observation(dc))
+        assert migrations
+        assert dc.host_of(migrations[0].vm_id) == 0
+
+    def test_consolidate_action_evacuates_lightest(self):
+        scheduler = QLearningScheduler()
+        dc = self._overloaded_dc()
+        dc.vm(2).set_demand(0.01)
+        migrations = scheduler._consolidate(build_observation(dc))
+        if migrations:  # feasible only if RAM allows
+            assert dc.host_of(migrations[0].vm_id) == 1
+
+    def test_greedy_deployment_uses_q_table(self):
+        scheduler = QLearningScheduler(seed=0)
+        dc = self._overloaded_dc()
+        observation = build_observation(dc)
+        state = scheduler._state_key(observation)
+        row = scheduler._q_row(state)
+        row[ACTION_NOOP] = 10.0
+        row[ACTION_RELIEVE] = -5.0
+        row[ACTION_CONSOLIDATE] = 10.0
+        migrations = scheduler.decide(observation)
+        assert migrations, "greedy must pick the learned relieve action"
+
+    def test_training_populates_q_table(self, tiny_simulation):
+        scheduler = QLearningScheduler(seed=0)
+        scheduler.train(tiny_simulation, episodes=2)
+        assert scheduler.q_table
+        assert not scheduler.training
+        for row in scheduler.q_table.values():
+            assert row.shape == (NUM_ACTIONS,)
+
+    def test_training_resets_simulation(self, tiny_simulation):
+        initial = tiny_simulation.datacenter.placement()
+        scheduler = QLearningScheduler(seed=0)
+        scheduler.train(tiny_simulation, episodes=1)
+        assert tiny_simulation.datacenter.placement() == initial
+
+    def test_learning_updates_q_values(self):
+        scheduler = QLearningScheduler(learning_rate=0.5, epsilon=0.0)
+        scheduler.training = True
+        dc = self._overloaded_dc()
+        scheduler.decide(build_observation(dc, step=0))
+        state_before = scheduler._last_state
+        scheduler.decide(build_observation(dc, step=1, last_cost=10.0))
+        assert scheduler.q_table[state_before].max() > 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"gamma": 1.0},
+            {"epsilon": 2.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QLearningScheduler(**kwargs)
+
+    def test_invalid_episodes(self, tiny_simulation):
+        with pytest.raises(ConfigurationError):
+            QLearningScheduler().train(tiny_simulation, episodes=0)

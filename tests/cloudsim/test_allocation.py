@@ -1,0 +1,103 @@
+"""Unit tests for the initial placement policies."""
+
+import pytest
+
+from repro.cloudsim.allocation import (
+    PLACEMENT_POLICIES,
+    place_balanced,
+    place_first_fit,
+    place_round_robin,
+    place_uniform_random,
+)
+from repro.cloudsim.datacenter import Datacenter
+from repro.errors import PlacementError
+
+from tests.conftest import make_pm, make_vm
+
+
+def fresh_dc(num_pms=4, num_vms=6, vm_ram=1024.0):
+    pms = [make_pm(i) for i in range(num_pms)]
+    vms = [make_vm(j, ram_mb=vm_ram) for j in range(num_vms)]
+    return Datacenter(pms, vms)
+
+
+class TestFirstFit:
+    def test_packs_onto_early_hosts(self):
+        dc = fresh_dc()
+        place_first_fit(dc)
+        # 4 x 1024 MB fit on host 0, the rest overflow to host 1.
+        assert dc.vms_on(0) == {0, 1, 2, 3}
+        assert dc.vms_on(1) == {4, 5}
+
+    def test_all_placed(self):
+        dc = fresh_dc()
+        place_first_fit(dc)
+        assert all(dc.is_placed(j) for j in range(dc.num_vms))
+
+    def test_raises_when_impossible(self):
+        dc = fresh_dc(num_pms=1, num_vms=5)
+        with pytest.raises(PlacementError):
+            place_first_fit(dc)
+
+    def test_skips_already_placed(self):
+        dc = fresh_dc()
+        dc.place(0, 3)
+        place_first_fit(dc)
+        assert dc.host_of(0) == 3
+
+
+class TestRoundRobin:
+    def test_spreads_across_hosts(self):
+        dc = fresh_dc()
+        place_round_robin(dc)
+        assert [dc.host_of(j) for j in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_skips_full_hosts(self):
+        dc = fresh_dc(num_pms=2, num_vms=6)
+        place_round_robin(dc)
+        assert all(dc.is_placed(j) for j in range(6))
+        assert len(dc.vms_on(0)) <= 4
+
+
+class TestUniformRandom:
+    def test_deterministic_given_seed(self):
+        dc1, dc2 = fresh_dc(), fresh_dc()
+        place_uniform_random(dc1, seed=5)
+        place_uniform_random(dc2, seed=5)
+        assert dc1.placement() == dc2.placement()
+
+    def test_different_seeds_differ(self):
+        dc1, dc2 = fresh_dc(num_pms=8, num_vms=12, vm_ram=256.0), fresh_dc(
+            num_pms=8, num_vms=12, vm_ram=256.0
+        )
+        place_uniform_random(dc1, seed=1)
+        place_uniform_random(dc2, seed=2)
+        assert dc1.placement() != dc2.placement()
+
+    def test_respects_capacity(self):
+        dc = fresh_dc(num_pms=2, num_vms=8)
+        place_uniform_random(dc, seed=0)
+        for pm_id in range(2):
+            assert dc.ram_used_mb(pm_id) <= dc.pm(pm_id).ram_mb
+
+
+class TestBalanced:
+    def test_prefers_emptiest_host(self):
+        dc = fresh_dc()
+        place_balanced(dc)
+        sizes = [len(dc.vms_on(i)) for i in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_raises_when_impossible(self):
+        dc = fresh_dc(num_pms=1, num_vms=5)
+        with pytest.raises(PlacementError):
+            place_balanced(dc)
+
+
+def test_policy_registry_complete():
+    assert set(PLACEMENT_POLICIES) == {
+        "first-fit",
+        "round-robin",
+        "random",
+        "balanced",
+    }

@@ -1,0 +1,142 @@
+"""Tests for dynamic VM provisioning (deprovision on idle, re-place on demand)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.noop import NoMigrationScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.workloads.base import ArrayWorkload
+from repro.workloads.google import generate_google_workload
+
+from tests.conftest import make_pm, make_vm
+
+
+def on_off_workload():
+    """VM 0 always on; VM 1 on for steps 0-1, off 2-3, on again 4-5."""
+    matrix = np.full((2, 6), 0.3)
+    active = np.array(
+        [
+            [True] * 6,
+            [True, True, False, False, True, True],
+        ]
+    )
+    return ArrayWorkload(matrix, active)
+
+
+def build_sim(dynamic: bool):
+    pms = [make_pm(0), make_pm(1)]
+    vms = [make_vm(0, ram_mb=1024.0), make_vm(1, ram_mb=1024.0)]
+    dc = Datacenter(pms, vms)
+    dc.place(0, 0)
+    dc.place(1, 0)
+    return Simulation(
+        dc,
+        on_off_workload(),
+        SimulationConfig(num_steps=6),
+        dynamic_provisioning=dynamic,
+    )
+
+
+class TestLifecycle:
+    def test_idle_vm_deprovisioned(self):
+        sim = build_sim(dynamic=True)
+        placements = []
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                placements.append(
+                    observation.datacenter.is_placed(1)
+                )
+                return []
+
+        sim.run(Probe())
+        assert placements == [True, True, False, False, True, True]
+
+    def test_static_mode_keeps_reservation(self):
+        sim = build_sim(dynamic=False)
+        sim.run(NoMigrationScheduler())
+        assert sim.datacenter.is_placed(1)
+
+    def test_ram_freed_while_idle(self):
+        sim = build_sim(dynamic=True)
+        free_at_step = {}
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                free_at_step[observation.step] = (
+                    observation.datacenter.ram_free_mb(0)
+                )
+                return []
+
+        sim.run(Probe())
+        assert free_at_step[2] > free_at_step[0]
+
+    def test_waits_for_capacity(self):
+        # Tiny second host: when VM 1 returns, host 0 is full of VM 2's
+        # reservation, so VM 1 waits in the pending queue.
+        pms = [make_pm(0, ram_mb=1024.0)]
+        vms = [make_vm(0, ram_mb=1024.0), make_vm(1, ram_mb=1024.0)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        matrix = np.full((2, 4), 0.2)
+        active = np.array(
+            [
+                [True, True, False, False],  # VM 0 leaves at step 2
+                [False, True, True, True],  # VM 1 arrives at step 1
+            ]
+        )
+        sim = Simulation(
+            dc,
+            ArrayWorkload(matrix, active),
+            SimulationConfig(num_steps=4),
+            dynamic_provisioning=True,
+        )
+        seen = {}
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                seen[observation.step] = observation.datacenter.is_placed(1)
+                return []
+
+        sim.run(Probe())
+        assert seen[1] is False  # no room yet
+        assert seen[2] is True  # VM 0 deprovisioned, VM 1 placed
+
+    def test_reset_clears_pending(self):
+        sim = build_sim(dynamic=True)
+        sim.run(NoMigrationScheduler())
+        sim.reset()
+        assert sim.pending_vm_ids == []
+        assert sim.datacenter.is_placed(1)
+
+    def test_google_trace_with_provisioning(self):
+        pms = [make_pm(i) for i in range(3)]
+        workload = generate_google_workload(num_vms=8, num_steps=40, seed=0)
+        vms = [make_vm(j, ram_mb=700.0) for j in range(8)]
+        dc = Datacenter(pms, vms)
+        for j in range(8):
+            dc.place(j, j % 3)
+        sim = Simulation(
+            dc,
+            workload,
+            SimulationConfig(num_steps=40),
+            dynamic_provisioning=True,
+        )
+        result = sim.run(NoMigrationScheduler())
+        assert len(result.metrics.steps) == 40
+        # Invariant: every *active* VM is either placed or pending.
+        for vm in dc.vms:
+            if vm.is_active:
+                assert dc.is_placed(vm.vm_id) or (
+                    vm.vm_id in sim.pending_vm_ids
+                )
+            else:
+                assert not dc.is_placed(vm.vm_id)

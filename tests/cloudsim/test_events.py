@@ -1,0 +1,98 @@
+"""Tests for the structured event log."""
+
+import pytest
+
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.events import Event, EventKind, EventLog
+from repro.errors import ConfigurationError
+
+
+class TestEvent:
+    def test_json_roundtrip(self):
+        event = Event(step=3, kind=EventKind.MIGRATION_STARTED,
+                      payload={"vm_id": 1, "pm_id": 2})
+        restored = Event.from_json(event.to_json())
+        assert restored == event
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Event.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Event.from_json('{"kind": "custom"}')
+
+
+class TestEventLog:
+    @pytest.fixture
+    def log(self):
+        log = EventLog()
+        log.emit(0, EventKind.MIGRATION_STARTED, vm_id=1, pm_id=2)
+        log.emit(0, EventKind.HOST_OVERLOADED, pm_id=2)
+        log.emit(1, EventKind.MIGRATION_COMPLETED, vm_id=1)
+        log.emit(1, EventKind.MIGRATION_STARTED, vm_id=3, pm_id=0)
+        return log
+
+    def test_length_and_iteration(self, log):
+        assert len(log) == 4
+        assert len(list(log)) == 4
+
+    def test_query_by_kind(self, log):
+        started = log.query(kind=EventKind.MIGRATION_STARTED)
+        assert len(started) == 2
+
+    def test_query_by_step(self, log):
+        assert len(log.query(step=1)) == 2
+
+    def test_query_by_vm(self, log):
+        assert len(log.query(vm_id=1)) == 2
+
+    def test_query_by_pm(self, log):
+        assert len(log.query(pm_id=2)) == 2
+
+    def test_query_combined(self, log):
+        matches = log.query(kind=EventKind.MIGRATION_STARTED, vm_id=3)
+        assert len(matches) == 1
+        assert matches[0].step == 1
+
+    def test_counts(self, log):
+        counts = log.counts()
+        assert counts[EventKind.MIGRATION_STARTED] == 2
+        assert counts[EventKind.HOST_OVERLOADED] == 1
+
+    def test_jsonl_roundtrip(self, log, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log.save_jsonl(path)
+        restored = EventLog.load_jsonl(path)
+        assert list(restored) == list(log)
+
+
+class TestSimulationIntegration:
+    def test_simulation_emits_events(self, tiny_simulation):
+        log = EventLog()
+        tiny_simulation.run(
+            RandomScheduler(migrations_per_step=1, seed=0), event_log=log
+        )
+        counts = log.counts()
+        assert counts.get(EventKind.MIGRATION_STARTED, 0) > 0
+        # Every start eventually completes (fast transfers).
+        assert counts.get(EventKind.MIGRATION_COMPLETED, 0) == counts.get(
+            EventKind.MIGRATION_STARTED, 0
+        )
+
+    def test_event_steps_within_run(self, tiny_simulation):
+        log = EventLog()
+        tiny_simulation.reset()
+        tiny_simulation.run(
+            RandomScheduler(migrations_per_step=1, seed=1),
+            num_steps=10,
+            event_log=log,
+        )
+        assert all(0 <= event.step < 10 for event in log)
+
+    def test_no_log_no_overhead(self, tiny_simulation):
+        tiny_simulation.reset()
+        result = tiny_simulation.run(
+            RandomScheduler(migrations_per_step=1, seed=0)
+        )
+        assert len(result.metrics.steps) == 20

@@ -1,0 +1,193 @@
+"""Tests for host-failure injection."""
+
+import pytest
+
+from repro.baselines.noop import NoMigrationScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultTolerantScheduler,
+)
+from repro.cloudsim.migration import Migration
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import constant_workload
+
+from tests.conftest import make_pm, make_vm
+
+
+@pytest.fixture
+def dc():
+    pms = [make_pm(i) for i in range(3)]
+    vms = [make_vm(j, ram_mb=512.0) for j in range(4)]
+    datacenter = Datacenter(pms, vms)
+    for j in range(4):
+        datacenter.place(j, j % 3)
+    return datacenter
+
+
+class TestFaultEvent:
+    def test_valid(self):
+        event = FaultEvent(pm_id=0, fail_step=5, repair_step=10)
+        assert event.repair_step == 10
+
+    def test_repair_before_failure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(pm_id=0, fail_step=5, repair_step=5)
+
+    def test_negative_fail_step(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(pm_id=0, fail_step=-1)
+
+    def test_overlapping_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(
+                [
+                    FaultEvent(0, fail_step=0, repair_step=10),
+                    FaultEvent(0, fail_step=5, repair_step=15),
+                ]
+            )
+
+
+class TestFailure:
+    def test_failure_evacuates_vms(self, dc):
+        injector = FaultInjector([FaultEvent(0, fail_step=0)])
+        report = injector.apply_step(dc, step=0)
+        assert report.failed_pms == [0]
+        assert dc.vms_on(0) == set()
+        assert sorted(report.displaced_vms) == [0, 3]
+        # Everyone found a new home on the surviving hosts.
+        assert all(dc.is_placed(j) for j in range(4))
+
+    def test_failed_host_sleeps(self, dc):
+        injector = FaultInjector([FaultEvent(0, fail_step=0)])
+        injector.apply_step(dc, step=0)
+        assert dc.pm(0).asleep
+        assert injector.is_down(0)
+
+    def test_stranded_when_no_capacity(self):
+        # One surviving tiny host cannot absorb the failed host's VM.
+        pms = [make_pm(0), make_pm(1, ram_mb=256.0)]
+        vms = [make_vm(0, ram_mb=1024.0)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        injector = FaultInjector([FaultEvent(0, fail_step=0)])
+        report = injector.apply_step(dc, step=0)
+        assert report.stranded_vms == [0]
+        assert not dc.is_placed(0)
+        assert injector.stranded_vm_ids == {0}
+
+    def test_stranded_vm_recovers_on_repair(self):
+        pms = [make_pm(0), make_pm(1, ram_mb=256.0)]
+        vms = [make_vm(0, ram_mb=1024.0)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        injector = FaultInjector(
+            [FaultEvent(0, fail_step=0, repair_step=3)]
+        )
+        injector.apply_step(dc, step=0)
+        injector.apply_step(dc, step=1)
+        assert not dc.is_placed(0)
+        report = injector.apply_step(dc, step=3)
+        assert report.repaired_pms == [0]
+        assert 0 in report.displaced_vms
+        assert dc.is_placed(0)
+        assert injector.stranded_vm_ids == set()
+
+    def test_no_event_no_activity(self, dc):
+        injector = FaultInjector()
+        report = injector.apply_step(dc, step=0)
+        assert not report.any_activity
+
+    def test_migrations_into_failed_host_filtered(self, dc):
+        injector = FaultInjector([FaultEvent(2, fail_step=0)])
+        injector.apply_step(dc, step=0)
+        migrations = [Migration(0, 2), Migration(0, 1)]
+        kept = injector.filter_migrations(migrations, dc)
+        assert kept == [Migration(0, 1)]
+
+
+class TestRandomSchedule:
+    def test_deterministic(self):
+        a = FaultInjector.random_schedule(10, 100, 0.01, seed=1)
+        b = FaultInjector.random_schedule(10, 100, 0.01, seed=1)
+        assert a._events == b._events
+
+    def test_zero_probability_no_events(self):
+        injector = FaultInjector.random_schedule(10, 100, 0.0, seed=0)
+        assert injector._events == []
+
+    def test_events_within_horizon(self):
+        injector = FaultInjector.random_schedule(
+            5, 50, failure_probability=0.05, seed=2
+        )
+        for event in injector._events:
+            assert 0 <= event.fail_step < 50
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector.random_schedule(5, 50, failure_probability=2.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjector.random_schedule(5, 50, mean_repair_steps=0.5)
+
+
+class TestFaultTolerantScheduler:
+    def _simulation(self):
+        pms = [make_pm(i) for i in range(4)]
+        vms = [make_vm(j, ram_mb=512.0) for j in range(6)]
+        dc = Datacenter(pms, vms)
+        for j in range(6):
+            dc.place(j, j % 4)
+        workload = constant_workload(6, 40, level=0.3)
+        return Simulation(dc, workload, SimulationConfig(num_steps=40))
+
+    def test_invariants_hold_through_failures(self):
+        sim = self._simulation()
+        injector = FaultInjector(
+            [
+                FaultEvent(0, fail_step=5, repair_step=20),
+                FaultEvent(2, fail_step=10, repair_step=25),
+            ]
+        )
+        wrapped = FaultTolerantScheduler(
+            MeghScheduler.from_simulation(sim, seed=0), injector
+        )
+        result = sim.run(wrapped)
+        assert len(result.metrics.steps) == 40
+        dc = sim.datacenter
+        # Every VM is placed again after repairs, RAM never oversubscribed.
+        assert sorted(dc.placement()) == list(range(6))
+        for pm in dc.pms:
+            assert dc.ram_used_mb(pm.pm_id) <= pm.ram_mb + 1e-9
+
+    def test_reports_collected(self):
+        sim = self._simulation()
+        injector = FaultInjector([FaultEvent(1, fail_step=3)])
+        wrapped = FaultTolerantScheduler(NoMigrationScheduler(), injector)
+        sim.run(wrapped)
+        assert len(wrapped.reports) == 40
+        assert wrapped.reports[3].failed_pms == [1]
+        assert wrapped.name == "NoMigration+faults"
+
+    def test_nothing_placed_on_downed_host_while_down(self):
+        sim = self._simulation()
+        injector = FaultInjector(
+            [FaultEvent(0, fail_step=5, repair_step=30)]
+        )
+        placements_on_zero = []
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                if 5 <= observation.step < 30:
+                    placements_on_zero.append(
+                        len(observation.datacenter.vms_on(0))
+                    )
+                return []
+
+        sim.run(FaultTolerantScheduler(Probe(), injector))
+        assert all(count == 0 for count in placements_on_zero)

@@ -1,0 +1,181 @@
+"""Tests for network topologies and topology-aware migration."""
+
+import pytest
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.migration import Migration, MigrationEngine
+from repro.cloudsim.network import (
+    FatTreeTopology,
+    FlatNetwork,
+    NetworkTopology,
+    StarNetwork,
+    migration_seconds,
+    traffic_cost_usd,
+)
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import constant_workload
+
+from tests.conftest import make_pm, make_vm
+
+
+class TestFlatAndStar:
+    def test_flat_uniform_bandwidth(self):
+        net = FlatNetwork(link_bandwidth_mbps=500.0)
+        assert net.path_bandwidth_mbps(0, 5) == 500.0
+        assert net.hop_count(0, 5) == 1
+
+    def test_same_host_infinite(self):
+        net = FlatNetwork()
+        assert net.path_bandwidth_mbps(3, 3) == float("inf")
+        assert net.hop_count(3, 3) == 0
+
+    def test_star_two_hops(self):
+        net = StarNetwork(uplink_bandwidth_mbps=100.0)
+        assert net.hop_count(0, 1) == 2
+        assert net.path_bandwidth_mbps(0, 1) == 100.0
+
+    def test_protocol_conformance(self):
+        assert isinstance(FlatNetwork(), NetworkTopology)
+        assert isinstance(StarNetwork(), NetworkTopology)
+        assert isinstance(FatTreeTopology(), NetworkTopology)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            FlatNetwork(link_bandwidth_mbps=0.0)
+        with pytest.raises(ConfigurationError):
+            StarNetwork(uplink_bandwidth_mbps=-1.0)
+
+
+class TestFatTree:
+    def test_capacity(self):
+        # k=4: 4 pods x 4 hosts = 16 hosts.
+        tree = FatTreeTopology(k=4)
+        assert tree.max_hosts == 16
+        assert tree.hosts_per_edge == 2
+        assert tree.hosts_per_pod == 4
+
+    def test_structure_mapping(self):
+        tree = FatTreeTopology(k=4)
+        assert tree.edge_of(0) == tree.edge_of(1)
+        assert tree.edge_of(0) != tree.edge_of(2)
+        assert tree.pod_of(0) == tree.pod_of(3)
+        assert tree.pod_of(0) != tree.pod_of(4)
+
+    def test_hop_classes(self):
+        tree = FatTreeTopology(k=4)
+        assert tree.hop_count(0, 0) == 0
+        assert tree.hop_count(0, 1) == 2  # same edge switch
+        assert tree.hop_count(0, 2) == 4  # same pod, other edge
+        assert tree.hop_count(0, 4) == 6  # other pod
+
+    def test_nonblocking_bandwidth_uniform(self):
+        tree = FatTreeTopology(k=4, edge_bandwidth_mbps=1000.0)
+        # Leiserson's ideal: full bandwidth everywhere.
+        assert tree.path_bandwidth_mbps(0, 1) == 1000.0
+        assert tree.path_bandwidth_mbps(0, 4) == 1000.0
+
+    def test_oversubscription_degrades_by_level(self):
+        tree = FatTreeTopology(
+            k=4,
+            edge_bandwidth_mbps=1000.0,
+            edge_oversubscription=2.0,
+            aggregation_oversubscription=2.0,
+        )
+        assert tree.path_bandwidth_mbps(0, 1) == 1000.0
+        assert tree.path_bandwidth_mbps(0, 2) == 500.0
+        assert tree.path_bandwidth_mbps(0, 4) == 250.0
+
+    def test_host_bounds_checked(self):
+        tree = FatTreeTopology(k=2)  # capacity 2
+        with pytest.raises(ConfigurationError):
+            tree.hop_count(0, 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 3},
+            {"k": 0},
+            {"edge_bandwidth_mbps": 0.0},
+            {"edge_oversubscription": 0.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FatTreeTopology(**kwargs)
+
+
+class TestHelpers:
+    def test_migration_seconds(self):
+        net = FlatNetwork(link_bandwidth_mbps=1000.0)
+        # 1024 MB over 1 Gbps = 8.192 s.
+        assert migration_seconds(net, 1024.0, 0, 1) == pytest.approx(8.192)
+
+    def test_migration_seconds_same_host(self):
+        assert migration_seconds(FlatNetwork(), 1024.0, 2, 2) == 0.0
+
+    def test_migration_seconds_invalid_ram(self):
+        with pytest.raises(ConfigurationError):
+            migration_seconds(FlatNetwork(), 0.0, 0, 1)
+
+    def test_traffic_cost(self):
+        tree = FatTreeTopology(k=4)
+        # 2048 MB = 2 GB across pods (6 hops) at 0.01 USD/GB-hop.
+        cost = traffic_cost_usd(tree, 2048.0, 0, 4, usd_per_gb_hop=0.01)
+        assert cost == pytest.approx(0.12)
+
+    def test_traffic_cost_invalid_price(self):
+        with pytest.raises(ConfigurationError):
+            traffic_cost_usd(FlatNetwork(), 1024.0, 0, 1, usd_per_gb_hop=-1.0)
+
+
+class TestTopologyAwareMigration:
+    def _setup(self, topology):
+        pms = [make_pm(i) for i in range(6)]
+        vms = [make_vm(0, ram_mb=1024.0)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        engine = MigrationEngine(dc, topology=topology)
+        return dc, engine
+
+    def test_cross_pod_migration_slower(self):
+        tree = FatTreeTopology(
+            k=4, edge_oversubscription=4.0, aggregation_oversubscription=4.0
+        )
+        dc_local, engine_local = self._setup(tree)
+        engine_local.start([Migration(0, 1)])  # same edge, full speed
+        dc_local.share_cpu()
+        local = engine_local.advance(300.0)
+
+        dc_far, engine_far = self._setup(tree)
+        engine_far.start([Migration(0, 4)])  # cross-pod, 1/16 speed
+        dc_far.share_cpu()
+        far = engine_far.advance(300.0)
+
+        # Same-edge transfer (8.2 s) completes within the interval; the
+        # cross-pod one (131 s) accrues far more degradation downtime.
+        assert far.downtime_seconds[0] > local.downtime_seconds[0]
+
+    def test_gb_hops_accounted(self):
+        tree = FatTreeTopology(k=4)
+        dc, engine = self._setup(tree)
+        engine.start([Migration(0, 4)])
+        assert engine.total_gb_hops == pytest.approx(6.0)
+
+    def test_simulation_accepts_topology(self):
+        pms = [make_pm(i) for i in range(4)]
+        vms = [make_vm(j, ram_mb=512.0) for j in range(4)]
+        dc = Datacenter(pms, vms)
+        for j in range(4):
+            dc.place(j, j)
+        sim = Simulation(
+            dc,
+            constant_workload(4, 10, level=0.3),
+            SimulationConfig(num_steps=10),
+            topology=FatTreeTopology(k=4),
+        )
+        from repro.baselines.random_policy import RandomScheduler
+
+        result = sim.run(RandomScheduler(migrations_per_step=1, seed=0))
+        assert len(result.metrics.steps) == 10

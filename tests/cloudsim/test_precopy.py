@@ -1,0 +1,121 @@
+"""Tests for the iterative pre-copy migration model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.migration import Migration, MigrationEngine
+from repro.cloudsim.precopy import PrecopyModel
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_pm, make_vm
+
+
+class TestModel:
+    def test_zero_dirty_rate_matches_single_shot(self):
+        model = PrecopyModel(dirty_rate_mbps=0.0, stop_threshold_mb=1.0)
+        outcome = model.transfer(ram_mb=1024.0, bandwidth_mbps=1000.0)
+        # One full round (8.192 s), nothing re-dirtied, ~zero residue.
+        assert outcome.rounds == 1
+        assert outcome.total_seconds == pytest.approx(8.192, abs=0.01)
+        assert outcome.downtime_seconds == pytest.approx(0.0, abs=1e-6)
+
+    def test_dirtying_adds_rounds(self):
+        slow = PrecopyModel(dirty_rate_mbps=0.0)
+        busy = PrecopyModel(dirty_rate_mbps=500.0)
+        idle = slow.transfer(1024.0, 1000.0)
+        dirty = busy.transfer(1024.0, 1000.0)
+        assert dirty.rounds > idle.rounds
+        assert dirty.total_seconds > idle.total_seconds
+
+    def test_geometric_round_shrinkage(self):
+        # D/B = 0.5: each round's transfer halves.
+        model = PrecopyModel(dirty_rate_mbps=500.0, stop_threshold_mb=1.0)
+        outcome = model.transfer(1024.0, 1000.0)
+        assert model.convergence_ratio(1000.0) == pytest.approx(0.5)
+        # Total time = sum of geometric series: M/B * 1/(1 - 0.5) = 2x.
+        assert outcome.total_seconds == pytest.approx(
+            2 * 1024 * 8 / 1000, rel=0.05
+        )
+
+    def test_divergent_dirty_rate_bounded(self):
+        model = PrecopyModel(dirty_rate_mbps=2000.0, max_rounds=30)
+        outcome = model.transfer(1024.0, 1000.0)
+        # D > B: one round then forced stop-and-copy of the full residue.
+        assert outcome.rounds <= 2
+        assert outcome.residual_mb == pytest.approx(1024.0)
+        assert outcome.downtime_seconds == pytest.approx(8.192, abs=0.01)
+
+    def test_downtime_is_residue_over_bandwidth(self):
+        model = PrecopyModel(dirty_rate_mbps=100.0, stop_threshold_mb=8.0)
+        outcome = model.transfer(512.0, 1000.0)
+        assert outcome.downtime_seconds == pytest.approx(
+            outcome.residual_mb / (1000.0 / 8.0)
+        )
+
+    @given(
+        st.floats(min_value=64.0, max_value=8192.0),
+        st.floats(min_value=0.0, max_value=900.0),
+    )
+    def test_convergent_downtime_below_threshold_time(self, ram, dirty):
+        model = PrecopyModel(dirty_rate_mbps=dirty, stop_threshold_mb=8.0)
+        outcome = model.transfer(ram, 1000.0)
+        if model.convergence_ratio(1000.0) < 1.0:
+            # Residue can exceed the threshold by at most one dirtying
+            # round factor.
+            assert outcome.residual_mb <= max(8.0 / (1 - dirty / 1000.0), ram * (dirty / 1000.0))
+            assert outcome.downtime_seconds < outcome.total_seconds + 1e-9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dirty_rate_mbps": -1.0},
+            {"stop_threshold_mb": 0.0},
+            {"max_rounds": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PrecopyModel(**kwargs)
+
+    def test_transfer_invalid_inputs(self):
+        model = PrecopyModel()
+        with pytest.raises(ConfigurationError):
+            model.transfer(0.0, 1000.0)
+        with pytest.raises(ConfigurationError):
+            model.transfer(1024.0, 0.0)
+
+
+class TestEngineIntegration:
+    def _setup(self, precopy):
+        pms = [make_pm(0), make_pm(1)]
+        vms = [make_vm(0, ram_mb=1024.0)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        return dc, MigrationEngine(dc, precopy=precopy)
+
+    def test_stop_and_copy_downtime_charged_at_completion(self):
+        model = PrecopyModel(dirty_rate_mbps=500.0, stop_threshold_mb=8.0)
+        dc, engine = self._setup(model)
+        dc.vm(0).set_demand(0.5)
+        engine.start([Migration(0, 1)])
+        dc.share_cpu()
+        outcome = engine.advance(300.0)
+        assert outcome.completed == (0,)
+        expected = model.transfer(1024.0, 1000.0)
+        # Downtime = overhead during the transfer window + stop-and-copy.
+        assert outcome.downtime_seconds[0] == pytest.approx(
+            0.10 * expected.total_seconds + expected.downtime_seconds,
+            rel=1e-6,
+        )
+
+    def test_precopy_longer_than_single_shot(self):
+        model = PrecopyModel(dirty_rate_mbps=800.0)
+        dc_pre, engine_pre = self._setup(model)
+        engine_pre.start([Migration(0, 1)])
+        dc_flat, engine_flat = self._setup(None)
+        engine_flat.start([Migration(0, 1)])
+        assert (
+            engine_pre._in_flight[0].total_seconds
+            > engine_flat._in_flight[0].total_seconds
+        )

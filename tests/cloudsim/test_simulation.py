@@ -1,0 +1,166 @@
+"""Unit and integration tests for the simulation driver."""
+
+import pytest
+
+from repro.baselines.noop import NoMigrationScheduler
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.migration import Migration
+from repro.cloudsim.simulation import Simulation
+from repro.cloudsim.datacenter import Datacenter
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError, SchedulerError
+from repro.workloads.synthetic import constant_workload
+
+from tests.conftest import make_pm, make_vm
+
+
+class TestConstruction:
+    def test_workload_must_cover_vms(self):
+        dc = Datacenter([make_pm(0)], [make_vm(0), make_vm(1)])
+        workload = constant_workload(num_vms=1, num_steps=10)
+        with pytest.raises(ConfigurationError):
+            Simulation(dc, workload, SimulationConfig(num_steps=10))
+
+    def test_workload_must_cover_steps(self):
+        dc = Datacenter([make_pm(0)], [make_vm(0)])
+        workload = constant_workload(num_vms=1, num_steps=5)
+        with pytest.raises(ConfigurationError):
+            Simulation(dc, workload, SimulationConfig(num_steps=10))
+
+
+class TestRun:
+    def test_noop_run_produces_metrics(self, tiny_simulation):
+        result = tiny_simulation.run(NoMigrationScheduler())
+        assert len(result.metrics.steps) == 20
+        assert result.total_migrations == 0
+        assert result.total_cost_usd > 0.0
+
+    def test_energy_cost_matches_power_model(self, tiny_simulation):
+        result = tiny_simulation.run(NoMigrationScheduler())
+        # All three hosts active at known utilization; energy must be the
+        # sum of per-host SPEC power over 20 intervals of 300 s.
+        dc = tiny_simulation.datacenter
+        expected_watts = sum(
+            dc.pm(i).power_model.power(dc.demanded_utilization(i))
+            for i in range(3)
+        )
+        per_step = (
+            expected_watts
+            * 300.0
+            * tiny_simulation.config.costs.energy_price_usd_per_watt_second
+        )
+        assert result.metrics.per_step_cost_series()[0] == pytest.approx(
+            per_step
+        )
+
+    def test_num_steps_override(self, tiny_simulation):
+        result = tiny_simulation.run(NoMigrationScheduler(), num_steps=5)
+        assert len(result.metrics.steps) == 5
+
+    def test_num_steps_cannot_exceed_workload(self, tiny_simulation):
+        with pytest.raises(ConfigurationError):
+            tiny_simulation.run(NoMigrationScheduler(), num_steps=1000)
+
+    def test_scheduler_returning_none_rejected(self, tiny_simulation):
+        class Broken:
+            name = "broken"
+
+            def decide(self, observation):
+                return None
+
+        with pytest.raises(SchedulerError):
+            tiny_simulation.run(Broken())
+
+    def test_migrations_counted(self, tiny_simulation):
+        class OneMove:
+            name = "one-move"
+            done = False
+
+            def decide(self, observation):
+                if not self.done:
+                    self.done = True
+                    return [Migration(vm_id=3, dest_pm_id=1)]
+                return []
+
+        result = tiny_simulation.run(OneMove())
+        assert result.total_migrations == 1
+
+    def test_rejected_migrations_counted(self, tiny_simulation):
+        class BadMove:
+            name = "bad-move"
+
+            def decide(self, observation):
+                # Destination equals current host -> rejected.
+                host = observation.datacenter.host_of(0)
+                return [Migration(vm_id=0, dest_pm_id=host)]
+
+        result = tiny_simulation.run(BadMove())
+        assert result.total_migrations == 0
+        assert all(
+            s.num_migrations_rejected == 1 for s in result.metrics.steps
+        )
+
+    def test_observation_contract(self, tiny_simulation):
+        seen = []
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                seen.append(observation)
+                return []
+
+        tiny_simulation.run(Probe(), num_steps=3)
+        assert [o.step for o in seen] == [0, 1, 2]
+        assert seen[0].last_step_cost_usd == 0.0
+        assert seen[1].last_step_cost_usd > 0.0
+        assert seen[0].interval_seconds == 300.0
+        assert seen[0].state.num_vms == 4
+
+    def test_summary_contains_key_figures(self, tiny_simulation):
+        result = tiny_simulation.run(NoMigrationScheduler())
+        text = result.summary()
+        assert "total cost" in text
+        assert "NoMigration" in text
+
+
+class TestReset:
+    def test_reset_restores_placement(self, tiny_simulation):
+        initial = tiny_simulation.datacenter.placement()
+        tiny_simulation.run(RandomScheduler(migrations_per_step=1, seed=0))
+        assert tiny_simulation.datacenter.placement() != initial or True
+        tiny_simulation.reset()
+        assert tiny_simulation.datacenter.placement() == initial
+
+    def test_reset_wakes_hosts(self, tiny_simulation):
+        tiny_simulation.run(NoMigrationScheduler())
+        tiny_simulation.reset()
+        assert not any(pm.asleep for pm in tiny_simulation.datacenter.pms)
+
+    def test_rerun_after_reset_is_identical(self, tiny_simulation):
+        first = tiny_simulation.run(NoMigrationScheduler())
+        tiny_simulation.reset()
+        second = tiny_simulation.run(NoMigrationScheduler())
+        assert first.total_cost_usd == pytest.approx(second.total_cost_usd)
+
+    def test_reset_clears_monitor(self, tiny_simulation):
+        tiny_simulation.run(NoMigrationScheduler())
+        tiny_simulation.reset()
+        assert tiny_simulation.monitor.steps_observed == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def build():
+            pms = [make_pm(i) for i in range(3)]
+            vms = [make_vm(j) for j in range(5)]
+            dc = Datacenter(pms, vms)
+            for j in range(5):
+                dc.place(j, j % 3)
+            workload = constant_workload(num_vms=5, num_steps=15, level=0.4)
+            return Simulation(dc, workload, SimulationConfig(num_steps=15))
+
+        result_a = build().run(RandomScheduler(migrations_per_step=1, seed=3))
+        result_b = build().run(RandomScheduler(migrations_per_step=1, seed=3))
+        assert result_a.total_cost_usd == pytest.approx(result_b.total_cost_usd)
+        assert result_a.total_migrations == result_b.total_migrations

@@ -1,0 +1,137 @@
+"""Integration tests combining the optional substrates.
+
+Each optional model (topology, pre-copy, faults, dynamic provisioning,
+event log, invariant validation) works alone; these tests prove they
+compose — the combinations a real study would actually run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.events import EventKind, EventLog
+from repro.cloudsim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultTolerantScheduler,
+)
+from repro.cloudsim.migration import MigrationEngine, Migration
+from repro.cloudsim.network import FatTreeTopology
+from repro.cloudsim.precopy import PrecopyModel
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.workloads.base import ArrayWorkload
+from repro.workloads.bandwidth import derive_bandwidth_workload
+from repro.workloads.google import generate_google_workload
+from repro.workloads.planetlab import generate_planetlab_workload
+
+from tests.conftest import make_pm, make_vm
+
+
+def build_datacenter(num_pms=4, num_vms=6, ram=512.0):
+    pms = [make_pm(i) for i in range(num_pms)]
+    vms = [make_vm(j, ram_mb=ram) for j in range(num_vms)]
+    dc = Datacenter(pms, vms)
+    for j in range(num_vms):
+        dc.place(j, j % num_pms)
+    return dc
+
+
+class TestTopologyPlusPrecopy:
+    def test_engine_composes_both_models(self):
+        dc = build_datacenter(num_pms=16, num_vms=1, ram=1024.0)
+        tree = FatTreeTopology(
+            k=4, edge_oversubscription=4.0, aggregation_oversubscription=4.0
+        )
+        model = PrecopyModel(dirty_rate_mbps=30.0)
+        engine = MigrationEngine(dc, topology=tree, precopy=model)
+        engine.start([Migration(0, 4)])  # cross-pod at 62.5 Mbps
+        flight = engine._in_flight[0]
+        expected = model.transfer(1024.0, tree.path_bandwidth_mbps(0, 4))
+        assert flight.total_seconds == pytest.approx(expected.total_seconds)
+        assert flight.final_downtime_seconds == pytest.approx(
+            expected.downtime_seconds
+        )
+
+    def test_full_run_with_both(self):
+        dc = build_datacenter(num_pms=8, num_vms=10)
+        workload = generate_planetlab_workload(
+            num_vms=10, num_steps=30, seed=0
+        )
+        sim = Simulation(
+            dc,
+            workload,
+            SimulationConfig(num_steps=30),
+            topology=FatTreeTopology(k=4),
+        )
+        result = sim.run(
+            MeghScheduler.from_simulation(sim, seed=0),
+            validate_every_step=True,
+        )
+        assert len(result.metrics.steps) == 30
+
+
+class TestFaultsPlusEverything:
+    def test_faults_with_events_and_validation(self):
+        dc = build_datacenter()
+        workload = generate_planetlab_workload(num_vms=6, num_steps=30, seed=1)
+        sim = Simulation(dc, workload, SimulationConfig(num_steps=30))
+        injector = FaultInjector([FaultEvent(1, fail_step=5, repair_step=15)])
+        log = EventLog()
+        result = sim.run(
+            FaultTolerantScheduler(
+                RandomScheduler(migrations_per_step=1, seed=0), injector
+            ),
+            event_log=log,
+            validate_every_step=True,
+        )
+        assert len(result.metrics.steps) == 30
+        assert len(log) > 0
+
+    def test_dynamic_provisioning_with_faults(self):
+        dc = build_datacenter(num_pms=4, num_vms=8)
+        workload = generate_google_workload(num_vms=8, num_steps=30, seed=2)
+        sim = Simulation(
+            dc,
+            workload,
+            SimulationConfig(num_steps=30),
+            dynamic_provisioning=True,
+        )
+        injector = FaultInjector([FaultEvent(0, fail_step=8, repair_step=20)])
+        result = sim.run(
+            FaultTolerantScheduler(
+                MeghScheduler.from_simulation(sim, seed=2), injector
+            ),
+            validate_every_step=True,
+        )
+        assert len(result.metrics.steps) == 30
+
+
+class TestBandwidthPlusEvents:
+    def test_bandwidth_overloads_logged(self):
+        from repro.config import DatacenterConfig
+
+        pms = [make_pm(0), make_pm(1)]
+        vms = [make_vm(j, ram_mb=512.0) for j in range(4)]
+        for vm in vms:
+            vm.bandwidth_mbps = 600.0
+        dc = Datacenter(pms, vms)
+        for j in range(4):
+            dc.place(j, 0)
+        cpu = ArrayWorkload(np.full((4, 10), 0.1))
+        workload = derive_bandwidth_workload(
+            cpu, correlation=0.0, base_level=0.9, noise_std=0.0
+        )
+        sim = Simulation(
+            dc,
+            workload,
+            SimulationConfig(
+                num_steps=10,
+                datacenter=DatacenterConfig(bandwidth_aware=True),
+            ),
+        )
+        log = EventLog()
+        sim.run(RandomScheduler(migrations_per_step=0), event_log=log)
+        assert log.query(kind=EventKind.HOST_OVERLOADED, pm_id=0)

@@ -1,0 +1,74 @@
+"""Tests for the data-center invariant checker."""
+
+import pytest
+
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.validation import (
+    InvariantViolation,
+    check_invariants,
+    find_violations,
+)
+from repro.errors import ReproError
+
+
+class TestHealthyStates:
+    def test_fresh_datacenter_clean(self, small_datacenter):
+        assert find_violations(small_datacenter) == []
+
+    def test_placed_datacenter_clean(self, placed_datacenter):
+        placed_datacenter.vm(0).set_demand(0.5)
+        placed_datacenter.share_cpu()
+        check_invariants(placed_datacenter)  # must not raise
+
+    def test_simulation_clean_every_step(self, tiny_simulation):
+        result = tiny_simulation.run(
+            RandomScheduler(migrations_per_step=1, seed=0),
+            validate_every_step=True,
+        )
+        assert len(result.metrics.steps) == 20
+
+
+class TestBrokenStates:
+    def test_inconsistent_placement_detected(self, placed_datacenter):
+        # Corrupt the internal maps directly (simulating a bug).
+        placed_datacenter._host_of[0] = 3
+        violations = find_violations(placed_datacenter)
+        assert any("VM 0" in v for v in violations)
+
+    def test_duplicate_hosting_detected(self, placed_datacenter):
+        placed_datacenter._vms_on[1].add(0)  # VM 0 now on hosts 0 and 1
+        violations = find_violations(placed_datacenter)
+        assert any("appears on PMs" in v for v in violations)
+
+    def test_ram_oversubscription_detected(self, placed_datacenter):
+        placed_datacenter._vms_on[0].update({2, 3, 4, 5})
+        for vm_id in (2, 3, 4, 5):
+            placed_datacenter._host_of[vm_id] = 0
+        violations = find_violations(placed_datacenter)
+        assert any("oversubscribed" in v for v in violations)
+
+    def test_sleeping_host_with_vms_detected(self, placed_datacenter):
+        placed_datacenter.pm(0).asleep = True
+        violations = find_violations(placed_datacenter)
+        assert any("asleep but hosts" in v for v in violations)
+
+    def test_delivered_above_demanded_detected(self, placed_datacenter):
+        placed_datacenter.vm(0).set_demand(0.2)
+        placed_datacenter.vm(0).delivered_utilization = 0.9
+        violations = find_violations(placed_datacenter)
+        assert any("delivered" in v for v in violations)
+
+    def test_inactive_with_demand_detected(self, placed_datacenter):
+        vm = placed_datacenter.vm(0)
+        vm.set_demand(0.4)
+        vm._active = False  # bypass set_active's zeroing, like a bug would
+        violations = find_violations(placed_datacenter)
+        assert any("inactive VM 0" in v for v in violations)
+
+    def test_check_raises_with_all_violations(self, placed_datacenter):
+        placed_datacenter.pm(0).asleep = True
+        placed_datacenter.vm(0).delivered_utilization = 5.0
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_invariants(placed_datacenter)
+        assert len(excinfo.value.violations) >= 2
+        assert isinstance(excinfo.value, ReproError)

@@ -1,0 +1,104 @@
+"""Unit tests for the VM and PM models."""
+
+import pytest
+
+from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.power import HP_PROLIANT_G4
+from repro.cloudsim.vm import VirtualMachine
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_pm, make_vm
+
+
+class TestVirtualMachine:
+    def test_demand_setting(self):
+        vm = make_vm(0)
+        vm.set_demand(0.4)
+        assert vm.demanded_utilization == 0.4
+        assert vm.demanded_mips == pytest.approx(400.0)
+
+    def test_demand_out_of_range(self):
+        vm = make_vm(0)
+        with pytest.raises(ConfigurationError):
+            vm.set_demand(1.5)
+        with pytest.raises(ConfigurationError):
+            vm.set_demand(-0.1)
+
+    def test_inactive_vm_demands_nothing(self):
+        vm = make_vm(0)
+        vm.set_demand(0.8)
+        vm.set_active(False)
+        assert not vm.is_active
+        assert vm.demanded_utilization == 0.0
+        assert vm.delivered_utilization == 0.0
+
+    def test_reactivation(self):
+        vm = make_vm(0)
+        vm.set_active(False)
+        vm.set_active(True)
+        assert vm.is_active
+
+    def test_migration_time(self):
+        # 1024 MB at 100 Mbps: 1024 * 8 / 100 = 81.92 s.
+        vm = make_vm(0, ram_mb=1024.0)
+        assert vm.migration_time_seconds() == pytest.approx(81.92)
+
+    def test_delivered_mips(self):
+        vm = make_vm(0, mips=2000.0)
+        vm.delivered_utilization = 0.25
+        assert vm.delivered_mips == pytest.approx(500.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"vm_id": -1},
+            {"mips": 0.0},
+            {"ram_mb": 0.0},
+            {"bandwidth_mbps": 0.0},
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        base = dict(vm_id=0, mips=1000.0, ram_mb=1024.0, bandwidth_mbps=100.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(**base)
+
+
+class TestPhysicalMachine:
+    def test_power_follows_model(self):
+        pm = make_pm(0)
+        assert pm.power(0.0) == HP_PROLIANT_G4.power(0.0)
+        assert pm.power(1.0) == HP_PROLIANT_G4.power(1.0)
+
+    def test_sleeping_pm_draws_nothing(self):
+        pm = make_pm(0)
+        pm.sleep()
+        assert pm.asleep
+        assert pm.power(0.5) == 0.0
+
+    def test_wake_restores_power(self):
+        pm = make_pm(0)
+        pm.sleep()
+        pm.wake()
+        assert pm.power(0.5) > 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pm_id": -1},
+            {"mips": 0.0},
+            {"ram_mb": -1.0},
+            {"bandwidth_mbps": 0.0},
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        base = dict(
+            pm_id=0,
+            mips=4000.0,
+            ram_mb=4096.0,
+            bandwidth_mbps=1000.0,
+            power_model=HP_PROLIANT_G4,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            PhysicalMachine(**base)

@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic fleets, workloads, simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.power import HP_PROLIANT_G4, HP_PROLIANT_G5
+from repro.cloudsim.vm import VirtualMachine
+from repro.config import SimulationConfig
+from repro.cloudsim.simulation import Simulation
+from repro.workloads.synthetic import constant_workload
+
+
+def make_pm(pm_id: int, mips: float = 4000.0, ram_mb: float = 4096.0):
+    model = HP_PROLIANT_G4 if pm_id % 2 == 0 else HP_PROLIANT_G5
+    return PhysicalMachine(
+        pm_id=pm_id,
+        mips=mips,
+        ram_mb=ram_mb,
+        bandwidth_mbps=1000.0,
+        power_model=model,
+    )
+
+
+def make_vm(vm_id: int, mips: float = 1000.0, ram_mb: float = 1024.0):
+    return VirtualMachine(
+        vm_id=vm_id, mips=mips, ram_mb=ram_mb, bandwidth_mbps=100.0
+    )
+
+
+@pytest.fixture
+def small_datacenter() -> Datacenter:
+    """4 PMs x 6 VMs, unplaced."""
+    pms = [make_pm(i) for i in range(4)]
+    vms = [make_vm(j) for j in range(6)]
+    return Datacenter(pms, vms)
+
+
+@pytest.fixture
+def placed_datacenter(small_datacenter: Datacenter) -> Datacenter:
+    """4 PMs x 6 VMs with VMs spread 2-2-1-1."""
+    layout = {0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 3}
+    for vm_id, pm_id in layout.items():
+        small_datacenter.place(vm_id, pm_id)
+    return small_datacenter
+
+
+@pytest.fixture
+def tiny_simulation() -> Simulation:
+    """3 PMs x 4 VMs with a constant 30 % workload, 20 steps."""
+    pms = [make_pm(i) for i in range(3)]
+    vms = [make_vm(j) for j in range(4)]
+    datacenter = Datacenter(pms, vms)
+    for vm_id in range(4):
+        datacenter.place(vm_id, vm_id % 3)
+    workload = constant_workload(num_vms=4, num_steps=20, level=0.3)
+    config = SimulationConfig(num_steps=20, seed=7)
+    return Simulation(datacenter, workload, config)

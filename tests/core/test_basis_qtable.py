@@ -1,0 +1,83 @@
+"""Tests for the sparse basis (Theorem 1) and the Q-table tracker (Fig 7)."""
+
+import pytest
+
+from repro.core.basis import SparseBasis
+from repro.core.qtable import QTableTracker
+from repro.errors import ConfigurationError
+from repro.mdp.action import ActionSpace, MigrationAction
+
+
+@pytest.fixture
+def basis():
+    return SparseBasis(ActionSpace(num_vms=3, num_pms=4))
+
+
+class TestSparseBasis:
+    def test_dimension(self, basis):
+        assert basis.dimension == 12
+
+    def test_one_hot_vector(self, basis):
+        action = MigrationAction(vm_id=1, dest_pm_id=2)
+        assert basis.vector(action) == {6: 1.0}
+
+    def test_combination_distinct_actions(self, basis):
+        a = MigrationAction(vm_id=0, dest_pm_id=0)
+        b = MigrationAction(vm_id=2, dest_pm_id=3)
+        combo = basis.combination(a, b, gamma=0.5)
+        assert combo == {0: 1.0, 11: -0.5}
+
+    def test_combination_same_action_merges(self, basis):
+        a = MigrationAction(vm_id=1, dest_pm_id=1)
+        combo = basis.combination(a, a, gamma=0.5)
+        assert combo == {5: 0.5}
+
+    def test_combination_gamma_zero(self, basis):
+        a = MigrationAction(vm_id=0, dest_pm_id=0)
+        b = MigrationAction(vm_id=0, dest_pm_id=1)
+        assert basis.combination(a, b, gamma=0.0) == {0: 1.0}
+
+    def test_combination_invalid_gamma(self, basis):
+        a = MigrationAction(vm_id=0, dest_pm_id=0)
+        with pytest.raises(ConfigurationError):
+            basis.combination(a, a, gamma=1.0)
+
+    def test_every_basis_vector_distinct(self, basis):
+        indices = set()
+        for j in range(3):
+            for k in range(4):
+                indices.add(basis.index_of(MigrationAction(j, k)))
+        assert len(indices) == 12
+
+
+class TestQTableTracker:
+    def test_record_and_series(self):
+        tracker = QTableTracker()
+        tracker.record(1, 10)
+        tracker.record(2, 14)
+        assert tracker.steps == [1, 2]
+        assert tracker.nonzeros == [10, 14]
+
+    def test_growth_rate_linear_series(self):
+        tracker = QTableTracker()
+        for step in range(10):
+            tracker.record(step, 100 + 3 * step)
+        assert tracker.growth_rate() == pytest.approx(3.0)
+        assert tracker.intercept() == pytest.approx(100.0)
+
+    def test_growth_rate_constant_series(self):
+        tracker = QTableTracker()
+        for step in range(5):
+            tracker.record(step, 42)
+        assert tracker.growth_rate() == pytest.approx(0.0)
+        assert tracker.intercept() == pytest.approx(42.0)
+
+    def test_empty_tracker(self):
+        tracker = QTableTracker()
+        assert tracker.growth_rate() == 0.0
+        assert tracker.intercept() == 0.0
+
+    def test_single_sample(self):
+        tracker = QTableTracker()
+        tracker.record(0, 5)
+        assert tracker.growth_rate() == 0.0

@@ -1,0 +1,157 @@
+"""Tests for the Sherman-Morrison LSTD core (Algorithm 1, Eq. 11).
+
+The crucial property: Megh's incrementally maintained ``B`` must equal the
+directly computed inverse of ``T = delta*I + sum phi_a (phi_a - gamma
+phi_a')^T`` after any update sequence — Sherman-Morrison is exact, not an
+approximation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lstd import SparseLstd
+from repro.errors import ConfigurationError
+
+
+def dense_T(dim, gamma, delta, updates):
+    """Direct construction of the transition operator."""
+    T = delta * np.eye(dim)
+    for a, a_next in updates:
+        phi_a = np.zeros(dim)
+        phi_a[a] = 1.0
+        phi_next = np.zeros(dim)
+        phi_next[a_next] = 1.0
+        T += np.outer(phi_a, phi_a - gamma * phi_next)
+    return T
+
+
+class TestConstruction:
+    def test_initial_B_is_scaled_identity(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5)
+        dense = lstd.B.to_dense()
+        assert np.allclose(dense, np.eye(4) / 4.0)
+
+    def test_delta_defaults_to_dimension(self):
+        lstd = SparseLstd(dimension=8, gamma=0.5)
+        assert lstd.delta == 8.0
+
+    def test_explicit_delta(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5, delta=100.0)
+        assert lstd.B.get(0, 0) == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0, "gamma": 0.5},
+            {"dimension": 4, "gamma": 1.0},
+            {"dimension": 4, "gamma": -0.1},
+            {"dimension": 4, "gamma": 0.5, "delta": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SparseLstd(**kwargs)
+
+
+class TestShermanMorrisonExactness:
+    def test_single_update_matches_direct_inverse(self):
+        lstd = SparseLstd(dimension=3, gamma=0.5, delta=3.0)
+        lstd.update(0, 1, cost=1.0)
+        expected = np.linalg.inv(dense_T(3, 0.5, 3.0, [(0, 1)]))
+        assert np.allclose(lstd.B.to_dense(), expected, atol=1e-9)
+
+    def test_self_transition_update(self):
+        lstd = SparseLstd(dimension=3, gamma=0.5, delta=3.0)
+        lstd.update(2, 2, cost=1.0)
+        expected = np.linalg.inv(dense_T(3, 0.5, 3.0, [(2, 2)]))
+        assert np.allclose(lstd.B.to_dense(), expected, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    def test_update_sequences_match_direct_inverse(self, dim, raw_updates):
+        updates = [(a % dim, b % dim) for a, b in raw_updates]
+        gamma = 0.5
+        lstd = SparseLstd(dimension=dim, gamma=gamma)
+        for a, a_next in updates:
+            lstd.update(a, a_next, cost=1.0)
+        if lstd.updates_skipped:
+            return  # a degenerate denominator was skipped; B diverges by design
+        expected = np.linalg.inv(dense_T(dim, gamma, float(dim), updates))
+        assert np.allclose(lstd.B.to_dense(), expected, atol=1e-6)
+
+    def test_updates_applied_counter(self):
+        lstd = SparseLstd(dimension=3, gamma=0.5)
+        lstd.update(0, 1, 1.0)
+        lstd.update(1, 2, 1.0)
+        assert lstd.updates_applied == 2
+        assert lstd.updates_skipped == 0
+
+
+class TestThetaAndQ:
+    def test_theta_is_B_times_z(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5)
+        for a, a_next, cost in [(0, 1, 2.0), (1, 2, -1.0), (0, 0, 0.5)]:
+            lstd.update(a, a_next, cost)
+        z = np.zeros(4)
+        z[0] = 2.5
+        z[1] = -1.0
+        expected = lstd.B.to_dense() @ z
+        assert np.allclose(lstd.theta(), expected, atol=1e-9)
+
+    def test_q_value_matches_theta_entry(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5)
+        lstd.update(2, 3, cost=1.5)
+        theta = lstd.theta()
+        for a in range(4):
+            assert lstd.q_value(a) == pytest.approx(theta[a])
+
+    def test_unvisited_actions_have_zero_q(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5)
+        lstd.update(0, 0, cost=5.0)
+        assert lstd.q_value(3) == pytest.approx(0.0)
+
+    def test_positive_cost_raises_q(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5)
+        lstd.update(0, 0, cost=5.0)
+        assert lstd.q_value(0) > 0.0
+
+    def test_negative_cost_lowers_q(self):
+        lstd = SparseLstd(dimension=4, gamma=0.5)
+        lstd.update(0, 0, cost=-5.0)
+        assert lstd.q_value(0) < 0.0
+
+    def test_repeated_low_cost_action_preferred(self):
+        # The action consistently followed by low cost must end with the
+        # lower Q — the ordering Boltzmann exploitation relies on.
+        lstd = SparseLstd(dimension=2, gamma=0.5)
+        for _ in range(20):
+            lstd.update(0, 0, cost=-1.0)
+            lstd.update(1, 1, cost=1.0)
+        assert lstd.q_value(0) < lstd.q_value(1)
+
+    def test_action_bounds(self):
+        lstd = SparseLstd(dimension=2, gamma=0.5)
+        with pytest.raises(ConfigurationError):
+            lstd.update(2, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            lstd.q_value(-1)
+
+
+class TestQTableGrowth:
+    def test_nnz_starts_at_dimension(self):
+        lstd = SparseLstd(dimension=6, gamma=0.5)
+        assert lstd.q_table_nonzeros == 6
+
+    def test_nnz_grows_with_updates(self):
+        lstd = SparseLstd(dimension=6, gamma=0.5)
+        before = lstd.q_table_nonzeros
+        lstd.update(0, 1, 1.0)
+        assert lstd.q_table_nonzeros > before

@@ -1,0 +1,175 @@
+"""Tests for the sparse matrix behind Megh's B operator (Section 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sparse import SparseMatrix
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_identity(self):
+        matrix = SparseMatrix.identity(3, scale=0.5)
+        assert matrix.get(0, 0) == 0.5
+        assert matrix.get(0, 1) == 0.0
+        assert matrix.nnz == 3
+
+    def test_set_get(self):
+        matrix = SparseMatrix(4)
+        matrix.set(1, 2, 3.5)
+        assert matrix.get(1, 2) == 3.5
+        assert matrix.nnz == 1
+
+    def test_set_zero_erases(self):
+        matrix = SparseMatrix(4)
+        matrix.set(1, 2, 3.5)
+        matrix.set(1, 2, 0.0)
+        assert matrix.nnz == 0
+        assert matrix.get(1, 2) == 0.0
+
+    def test_add(self):
+        matrix = SparseMatrix(4)
+        matrix.add(0, 0, 1.0)
+        matrix.add(0, 0, 2.0)
+        assert matrix.get(0, 0) == 3.0
+
+    def test_add_cancels_to_zero(self):
+        matrix = SparseMatrix(4)
+        matrix.add(0, 0, 1.0)
+        matrix.add(0, 0, -1.0)
+        assert matrix.nnz == 0
+
+    def test_bounds_checked(self):
+        matrix = SparseMatrix(2)
+        with pytest.raises(ConfigurationError):
+            matrix.get(2, 0)
+        with pytest.raises(ConfigurationError):
+            matrix.set(0, -1, 1.0)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            SparseMatrix(0)
+
+
+class TestRowColumn:
+    def test_row_extraction(self):
+        matrix = SparseMatrix(4)
+        matrix.set(1, 0, 2.0)
+        matrix.set(1, 3, 4.0)
+        matrix.set(2, 0, 9.0)
+        assert matrix.row(1) == {0: 2.0, 3: 4.0}
+        assert matrix.row(0) == {}
+
+    def test_column_extraction(self):
+        matrix = SparseMatrix(4)
+        matrix.set(0, 2, 1.0)
+        matrix.set(3, 2, 5.0)
+        matrix.set(3, 1, 7.0)
+        assert matrix.column(2) == {0: 1.0, 3: 5.0}
+
+    def test_column_index_tracks_erasure(self):
+        matrix = SparseMatrix(3)
+        matrix.set(0, 1, 1.0)
+        matrix.set(0, 1, 0.0)
+        assert matrix.column(1) == {}
+
+    def test_row_returns_copy(self):
+        matrix = SparseMatrix(3)
+        matrix.set(0, 0, 1.0)
+        row = matrix.row(0)
+        row[0] = 99.0
+        assert matrix.get(0, 0) == 1.0
+
+    def test_row_dot(self):
+        matrix = SparseMatrix(4)
+        matrix.set(0, 1, 2.0)
+        matrix.set(0, 2, 3.0)
+        assert matrix.row_dot(0, {1: 10.0, 2: 1.0}) == pytest.approx(23.0)
+        assert matrix.row_dot(3, {0: 1.0}) == 0.0
+
+    def test_row_dot_sparse_vector_longer(self):
+        matrix = SparseMatrix(4)
+        matrix.set(0, 1, 2.0)
+        vector = {i: 1.0 for i in range(4)}
+        assert matrix.row_dot(0, vector) == pytest.approx(2.0)
+
+
+class TestRankOneUpdate:
+    def test_matches_dense_outer_product(self):
+        matrix = SparseMatrix.identity(4, scale=1.0)
+        col = {0: 2.0, 2: 1.0}
+        row = {1: 3.0, 3: -1.0}
+        matrix.rank_one_update(col, row, scale=0.5)
+        dense = np.eye(4)
+        col_vec = np.zeros(4)
+        row_vec = np.zeros(4)
+        col_vec[[0, 2]] = [2.0, 1.0]
+        row_vec[[1, 3]] = [3.0, -1.0]
+        dense += 0.5 * np.outer(col_vec, row_vec)
+        assert np.allclose(matrix.to_dense(), dense)
+
+    def test_zero_scale_noop(self):
+        matrix = SparseMatrix.identity(3)
+        matrix.rank_one_update({0: 1.0}, {1: 1.0}, scale=0.0)
+        assert matrix.nnz == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.data(),
+    )
+    def test_rank_one_property(self, dim, data):
+        entries = data.draw(
+            st.dictionaries(
+                st.tuples(
+                    st.integers(0, dim - 1), st.integers(0, dim - 1)
+                ),
+                st.floats(-5, 5, allow_nan=False),
+                max_size=8,
+            )
+        )
+        matrix = SparseMatrix(dim)
+        dense = np.zeros((dim, dim))
+        for (i, j), value in entries.items():
+            matrix.set(i, j, value)
+            dense[i, j] = value if abs(value) > 1e-14 else 0.0
+        col = data.draw(
+            st.dictionaries(
+                st.integers(0, dim - 1), st.floats(-3, 3, allow_nan=False),
+                max_size=dim,
+            )
+        )
+        row = data.draw(
+            st.dictionaries(
+                st.integers(0, dim - 1), st.floats(-3, 3, allow_nan=False),
+                max_size=dim,
+            )
+        )
+        scale = data.draw(st.floats(-2, 2, allow_nan=False))
+        matrix.rank_one_update(col, row, scale)
+        col_vec = np.zeros(dim)
+        row_vec = np.zeros(dim)
+        for i, v in col.items():
+            col_vec[i] = v
+        for j, v in row.items():
+            row_vec[j] = v
+        dense += scale * np.outer(col_vec, row_vec)
+        assert np.allclose(matrix.to_dense(), dense, atol=1e-9)
+
+
+class TestMisc:
+    def test_items_iteration(self):
+        matrix = SparseMatrix(3)
+        matrix.set(0, 1, 2.0)
+        matrix.set(2, 2, 4.0)
+        assert sorted(matrix.items()) == [(0, 1, 2.0), (2, 2, 4.0)]
+
+    def test_copy_independent(self):
+        matrix = SparseMatrix.identity(3)
+        clone = matrix.copy()
+        clone.set(0, 0, 99.0)
+        assert matrix.get(0, 0) == 1.0
+
+    def test_to_dense_shape(self):
+        assert SparseMatrix(5).to_dense().shape == (5, 5)

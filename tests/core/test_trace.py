@@ -1,0 +1,97 @@
+"""Tests for Megh decision tracing."""
+
+import pytest
+
+from repro.core.agent import MeghScheduler
+from repro.core.trace import DecisionRecord, DecisionTrace
+from repro.harness.builders import build_planetlab_simulation
+
+
+@pytest.fixture
+def traced_run():
+    sim = build_planetlab_simulation(num_pms=6, num_vms=8, num_steps=40)
+    trace = DecisionTrace()
+    agent = MeghScheduler(
+        num_vms=8,
+        num_pms=6,
+        beta=0.70,
+        seed=0,
+        trace=trace,
+    )
+    result = sim.run(agent)
+    return trace, agent, result
+
+
+class TestTraceCollection:
+    def test_one_record_per_step(self, traced_run):
+        trace, _, result = traced_run
+        assert len(trace) == len(result.metrics.steps)
+
+    def test_steps_sequential(self, traced_run):
+        trace, _, _ = traced_run
+        assert [r.step for r in trace.records] == list(range(40))
+
+    def test_temperature_decays(self, traced_run):
+        trace, _, _ = traced_run
+        temps = trace.temperatures
+        assert temps[0] > temps[-1]
+
+    def test_first_step_has_no_cost_signal(self, traced_run):
+        trace, _, _ = traced_run
+        assert trace.records[0].normalized_cost is None
+        # Later steps carry the normalized learning signal.
+        assert any(
+            r.normalized_cost is not None for r in trace.records[1:]
+        )
+
+    def test_chosen_matches_metrics(self, traced_run):
+        trace, _, result = traced_run
+        assert sum(trace.migrations_per_step) == result.total_migrations
+
+    def test_q_table_nonzeros_monotone(self, traced_run):
+        trace, _, _ = traced_run
+        nnz = [r.q_table_nonzeros for r in trace.records]
+        assert all(b >= a for a, b in zip(nnz, nnz[1:]))
+
+    def test_chosen_q_parallel_to_chosen(self, traced_run):
+        trace, _, _ = traced_run
+        for record in trace.records:
+            assert len(record.chosen) == len(record.chosen_q)
+
+    def test_vm_move_counts(self, traced_run):
+        trace, _, result = traced_run
+        counts = trace.vm_move_counts()
+        assert sum(counts.values()) == result.total_migrations
+        assert all(0 <= vm_id < 8 for vm_id in counts)
+
+    def test_no_trace_by_default(self):
+        sim = build_planetlab_simulation(num_pms=4, num_vms=5, num_steps=10)
+        agent = MeghScheduler.from_simulation(sim)
+        sim.run(agent)
+        assert agent.trace is None
+
+
+class TestExplorationPhase:
+    def test_short_trace(self):
+        trace = DecisionTrace()
+        assert trace.exploration_phase_end() == 0
+
+    def test_settling_series(self):
+        trace = DecisionTrace()
+        # 30 busy steps then 30 quiet ones.
+        for step in range(60):
+            moves = ((0, 1),) if step < 30 else ()
+            trace.append(
+                DecisionRecord(
+                    step=step,
+                    temperature=1.0,
+                    normalized_cost=0.0,
+                    num_candidate_vms=1,
+                    num_candidate_actions=2,
+                    chosen=moves,
+                    chosen_q=(0.0,) * len(moves),
+                    q_table_nonzeros=10,
+                )
+            )
+        end = trace.exploration_phase_end(quiet_steps=10)
+        assert 20 <= end <= 35

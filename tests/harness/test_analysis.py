@@ -1,0 +1,90 @@
+"""Tests for the paper-style claims analysis."""
+
+import pytest
+
+from repro.baselines.mmt.scheduler import MMTScheduler
+from repro.baselines.noop import NoMigrationScheduler
+from repro.core.agent import MeghScheduler
+from repro.errors import ConfigurationError
+from repro.harness.analysis import ComparativeClaims, claims_report, compare
+from repro.harness.builders import build_planetlab_simulation
+from repro.harness.runner import run_comparison
+
+
+@pytest.fixture(scope="module")
+def results():
+    sim = build_planetlab_simulation(num_pms=8, num_vms=11, num_steps=60, seed=0)
+    return run_comparison(
+        sim,
+        {
+            "THR-MMT": lambda s: MMTScheduler("THR"),
+            "Megh": lambda s: MeghScheduler.from_simulation(s, seed=0),
+            "NoMig": lambda s: NoMigrationScheduler(),
+        },
+    )
+
+
+class TestCompare:
+    def test_cost_reduction_formula(self, results):
+        claims = compare(results, "Megh", "THR-MMT")
+        expected = (
+            100.0
+            * (
+                results["THR-MMT"].total_cost_usd
+                - results["Megh"].total_cost_usd
+            )
+            / results["THR-MMT"].total_cost_usd
+        )
+        assert claims.cost_reduction_percent == pytest.approx(expected)
+
+    def test_migration_ratio(self, results):
+        claims = compare(results, "Megh", "THR-MMT")
+        assert claims.migration_ratio == pytest.approx(
+            results["THR-MMT"].total_migrations
+            / max(results["Megh"].total_migrations, 1)
+        )
+
+    def test_zero_migration_reference_safe(self, results):
+        claims = compare(results, "NoMig", "THR-MMT")
+        # NoMig has zero migrations; division guards against /0.
+        assert claims.migration_ratio >= 0.0
+
+    def test_unknown_algorithm(self, results):
+        with pytest.raises(ConfigurationError):
+            compare(results, "Megh", "nope")
+
+    def test_sentences_phrasing(self, results):
+        claims = compare(results, "Megh", "THR-MMT")
+        text = "\n".join(claims.sentences())
+        assert "reduces the expenditure by" in text or (
+            "increases the expenditure by" in text
+        )
+        assert "times that of Megh" in text
+        assert "converges in" in text
+
+    def test_slowdown_phrasing(self):
+        claims = ComparativeClaims(
+            subject="A",
+            reference="B",
+            cost_reduction_percent=-5.0,
+            migration_ratio=2.0,
+            speedup=0.5,
+            active_host_ratio=1.0,
+            subject_convergence_step=10,
+            reference_convergence_step=20,
+        )
+        text = "\n".join(claims.sentences())
+        assert "increases the expenditure" in text
+        assert "slower than" in text
+
+
+class TestReport:
+    def test_covers_every_reference(self, results):
+        report = claims_report(results, subject="Megh")
+        assert "THR-MMT" in report
+        assert "NoMig" in report
+        assert "Megh" in report
+
+    def test_unknown_subject(self, results):
+        with pytest.raises(ConfigurationError):
+            claims_report(results, subject="nope")

@@ -1,0 +1,89 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.ascii_plot import (
+    SPARK_LEVELS,
+    labelled_sparklines,
+    line_chart,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_levels(self):
+        spark = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        levels = [SPARK_LEVELS.index(c) for c in spark]
+        assert levels == sorted(levels)
+        assert levels[0] == 0
+        assert levels[-1] == len(SPARK_LEVELS) - 1
+
+    def test_constant_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == SPARK_LEVELS[0] * 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        spark = sparkline(list(range(100)), width=10)
+        assert len(spark) == 10
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=10)) == 2
+
+    def test_width_one(self):
+        assert len(sparkline([1.0, 5.0, 2.0], width=1)) == 1
+
+
+class TestLineChart:
+    def test_contains_axes_and_legend(self):
+        chart = line_chart({"cost": [1, 2, 3, 2, 1]}, width=20, height=5)
+        assert "┤" in chart
+        assert "└" in chart
+        assert "* cost" in chart
+
+    def test_title_included(self):
+        chart = line_chart({"a": [1, 2]}, title="Figure X", width=20, height=5)
+        assert chart.startswith("Figure X")
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=5
+        )
+        assert "* a" in chart
+        assert "+ b" in chart
+
+    def test_min_max_labels(self):
+        chart = line_chart({"a": [0.0, 10.0]}, width=20, height=5)
+        assert "10" in chart
+        assert "0" in chart
+
+    def test_empty_series(self):
+        assert line_chart({"a": []}, title="t") == "t"
+
+    def test_dimension_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1]}, width=5, height=5)
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [1]}, width=20, height=2)
+
+    def test_long_series_downsampled_to_width(self):
+        chart = line_chart({"a": list(range(500))}, width=30, height=5)
+        body_lines = [l for l in chart.splitlines() if "│" in l or "┤" in l]
+        assert all(len(line) <= 12 + 30 for line in body_lines)
+
+
+class TestLabelledSparklines:
+    def test_alignment_and_ranges(self):
+        text = labelled_sparklines(
+            {"short": [1, 2, 3], "a-longer-name": [3, 2, 1]}, width=10
+        )
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # Labels padded to the same width: sparkline starts aligned.
+        assert lines[0].index(SPARK_LEVELS[0][0]) > 0
+        assert "[1, 3]" in lines[0]
+
+    def test_empty(self):
+        assert labelled_sparklines({}) == ""

@@ -1,0 +1,101 @@
+"""Tests for the fleet and simulation builders."""
+
+import pytest
+
+from repro.cloudsim.power import SpecPowerModel
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.harness.builders import (
+    G4_MIPS,
+    G5_MIPS,
+    build_google_simulation,
+    build_planetlab_simulation,
+    build_simulation,
+    make_planetlab_fleet,
+    make_uniform_fleet,
+)
+from repro.workloads.synthetic import constant_workload
+
+
+class TestPlanetLabFleet:
+    def test_fifty_fifty_server_mix(self):
+        pms, _ = make_planetlab_fleet(num_pms=10, num_vms=5)
+        g4 = [pm for pm in pms if pm.mips == G4_MIPS]
+        g5 = [pm for pm in pms if pm.mips == G5_MIPS]
+        assert len(g4) == 5
+        assert len(g5) == 5
+
+    def test_vm_ranges(self):
+        _, vms = make_planetlab_fleet(num_pms=4, num_vms=50, seed=0)
+        for vm in vms:
+            assert 500.0 <= vm.mips <= 2500.0
+            assert 613.0 <= vm.ram_mb <= 1740.0
+            assert vm.bandwidth_mbps == 100.0
+
+    def test_deterministic(self):
+        _, a = make_planetlab_fleet(4, 10, seed=1)
+        _, b = make_planetlab_fleet(4, 10, seed=1)
+        assert [vm.mips for vm in a] == [vm.mips for vm in b]
+
+    def test_custom_ram_range(self):
+        _, vms = make_planetlab_fleet(
+            2, 20, vm_ram_range_mb=(100.0, 200.0)
+        )
+        assert all(100.0 <= vm.ram_mb <= 200.0 for vm in vms)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            make_planetlab_fleet(0, 1)
+
+
+class TestUniformFleet:
+    def test_homogeneous(self):
+        pms, vms = make_uniform_fleet(3, 5, pm_mips=4000.0, vm_mips=800.0)
+        assert all(pm.mips == 4000.0 for pm in pms)
+        assert all(vm.mips == 800.0 for vm in vms)
+
+    def test_custom_power_model(self):
+        flat = SpecPowerModel(name="flat", watts=tuple([100.0] * 11))
+        pms, _ = make_uniform_fleet(2, 2, power_model=flat)
+        assert pms[0].power(0.9) == 100.0
+
+
+class TestBuilders:
+    def test_planetlab_simulation_ready_to_run(self):
+        sim = build_planetlab_simulation(num_pms=5, num_vms=8, num_steps=10)
+        assert sim.datacenter.num_pms == 5
+        assert sim.datacenter.num_vms == 8
+        assert all(sim.datacenter.is_placed(j) for j in range(8))
+
+    def test_google_simulation_uses_small_vms(self):
+        sim = build_google_simulation(num_pms=5, num_vms=15, num_steps=10)
+        assert all(vm.ram_mb <= 1024.0 for vm in sim.datacenter.vms)
+
+    def test_placement_policy_selected(self):
+        rr = build_planetlab_simulation(
+            num_pms=6, num_vms=6, num_steps=5, placement="round-robin"
+        )
+        hosts = {rr.datacenter.host_of(j) for j in range(6)}
+        assert len(hosts) == 6
+
+    def test_unknown_placement(self):
+        workload = constant_workload(2, 5)
+        with pytest.raises(ConfigurationError):
+            build_simulation(workload, num_pms=2, placement="nope")
+
+    def test_unknown_fleet_style(self):
+        workload = constant_workload(2, 5)
+        with pytest.raises(ConfigurationError):
+            build_simulation(workload, num_pms=2, fleet_style="azure")
+
+    def test_config_passthrough(self):
+        config = SimulationConfig(num_steps=7, seed=3)
+        sim = build_planetlab_simulation(
+            num_pms=3, num_vms=4, num_steps=10, config=config
+        )
+        assert sim.config.num_steps == 7
+
+    def test_num_vms_defaults_to_workload(self):
+        workload = constant_workload(4, 5)
+        sim = build_simulation(workload, num_pms=3)
+        assert sim.datacenter.num_vms == 4

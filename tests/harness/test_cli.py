@@ -1,0 +1,54 @@
+"""Tests for the megh-repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("table2", "table3", "fig4", "fig6", "fig7", "fig8"):
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Q-table" in out
+        assert "slope" in out
+
+    def test_fig6_small(self, capsys):
+        # The default grid is too slow for a unit test; patch via steps.
+        assert main(["fig6", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "Megh" in out
+
+    @pytest.mark.slow
+    def test_table2_runs(self, capsys):
+        assert main(["table2", "--steps", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Total cost (USD)" in out
+        assert "Megh" in out
+
+
+class TestCliClaims:
+    def test_compare_with_claims(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--pms", "4",
+                "--vms", "6",
+                "--steps", "10",
+                "--claims",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Findings (Section 6.3 style)" in out
+        assert "expenditure" in out

@@ -1,0 +1,140 @@
+"""Tests for the experiment presets (scaled way down for test speed)."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.experiments import (
+    ExperimentPreset,
+    PRESETS,
+    run_epsilon_sensitivity,
+    run_megh_vs_madvm,
+    run_megh_vs_thr,
+    run_qtable_growth,
+    run_scalability_grid,
+    run_table_experiment,
+    run_temperature_sensitivity,
+)
+
+
+def tiny(preset: ExperimentPreset, **overrides) -> ExperimentPreset:
+    """Shrink a preset so a test finishes in well under a second."""
+    params = dict(preset.__dict__)
+    params.update(
+        {"num_pms": 5, "num_vms": 8, "num_steps": 12, **overrides}
+    )
+    return ExperimentPreset(**params)
+
+
+class TestPresets:
+    def test_all_paper_experiments_present(self):
+        assert set(PRESETS) == {
+            "table2",
+            "table3",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+        }
+
+    def test_presets_carry_paper_scale(self):
+        for preset in PRESETS.values():
+            assert preset.paper_scale
+
+    def test_build_produces_runnable_simulation(self):
+        sim = tiny(PRESETS["table2"]).build()
+        assert sim.datacenter.num_pms == 5
+
+    def test_google_preset_builds_google_fleet(self):
+        sim = tiny(PRESETS["table3"]).build()
+        assert all(vm.ram_mb <= 1024.0 for vm in sim.datacenter.vms)
+
+
+class TestTableExperiments:
+    def test_table_lineup(self):
+        results = run_table_experiment(tiny(PRESETS["table2"]))
+        assert set(results) == {
+            "THR-MMT",
+            "IQR-MMT",
+            "MAD-MMT",
+            "LR-MMT",
+            "LRR-MMT",
+            "Megh",
+        }
+
+    def test_madvm_optional(self):
+        results = run_table_experiment(
+            tiny(PRESETS["table2"]), include_madvm=True, num_steps=8
+        )
+        assert "MadVM" in results
+
+    def test_seed_override(self):
+        a = run_table_experiment(tiny(PRESETS["table2"]), seed=1)
+        b = run_table_experiment(tiny(PRESETS["table2"]), seed=1)
+        assert a["Megh"].total_cost_usd == pytest.approx(
+            b["Megh"].total_cost_usd
+        )
+
+
+class TestFigurePairs:
+    def test_megh_vs_thr(self):
+        results = run_megh_vs_thr(tiny(PRESETS["fig2"]))
+        assert set(results) == {"THR-MMT", "Megh"}
+
+    def test_megh_vs_madvm(self):
+        results = run_megh_vs_madvm(tiny(PRESETS["fig4"]))
+        assert set(results) == {"Megh", "MadVM"}
+
+
+class TestScalability:
+    def test_grid_points(self):
+        points = run_scalability_grid(
+            sizes=((4, 5), (8, 10)), num_steps=8
+        )
+        assert len(points) == 4  # 2 sizes x 2 algorithms
+        assert {p.algorithm for p in points} == {"THR-MMT", "Megh"}
+        assert all(p.mean_step_ms >= 0.0 for p in points)
+
+    def test_single_algorithm(self):
+        points = run_scalability_grid(
+            sizes=((4, 5),), num_steps=5, algorithms=("Megh",)
+        )
+        assert len(points) == 1
+
+
+class TestQTableGrowth:
+    def test_growth_recorded(self):
+        growths = run_qtable_growth(pm_counts=(4, 6), num_steps=20)
+        assert [g.num_pms for g in growths] == [4, 6]
+        for growth in growths:
+            assert len(growth.steps) == 20
+            assert growth.nonzeros[-1] >= growth.nonzeros[0]
+
+    def test_larger_fleet_larger_table(self):
+        growths = run_qtable_growth(pm_counts=(4, 8), num_steps=20)
+        assert growths[1].nonzeros[0] > growths[0].nonzeros[0]
+
+
+class TestSensitivity:
+    def test_temperature_sweep_shape(self):
+        points = run_temperature_sensitivity(
+            temperatures=(1.0, 3.0),
+            repeats=1,
+            num_pms=4,
+            num_vms=6,
+            num_steps=10,
+        )
+        assert [p.value for p in points] == [1.0, 3.0]
+        for point in points:
+            assert point.parameter == "Temp0"
+            assert point.p10_cost <= point.median_cost <= point.p90_cost
+
+    def test_epsilon_sweep_shape(self):
+        points = run_epsilon_sensitivity(
+            epsilons=(0.01, 0.1),
+            repeats=1,
+            num_pms=4,
+            num_vms=6,
+            num_steps=10,
+        )
+        assert [p.value for p in points] == [0.01, 0.1]
+        assert all(p.parameter == "epsilon" for p in points)

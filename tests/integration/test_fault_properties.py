@@ -1,0 +1,113 @@
+"""Property-based tests: simulator invariants under random failures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.faults import FaultInjector, FaultTolerantScheduler
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.workloads.base import ArrayWorkload
+
+from tests.conftest import make_pm, make_vm
+
+NUM_PMS = 4
+NUM_VMS = 5
+NUM_STEPS = 25
+
+
+def build_sim(matrix_seed: int) -> Simulation:
+    rng = np.random.default_rng(matrix_seed)
+    matrix = rng.uniform(0.0, 0.6, size=(NUM_VMS, NUM_STEPS))
+    pms = [make_pm(i) for i in range(NUM_PMS)]
+    vms = [make_vm(j, ram_mb=512.0) for j in range(NUM_VMS)]
+    dc = Datacenter(pms, vms)
+    for j in range(NUM_VMS):
+        dc.place(j, j % NUM_PMS)
+    return Simulation(
+        dc, ArrayWorkload(matrix), SimulationConfig(num_steps=NUM_STEPS)
+    )
+
+
+fault_params = st.tuples(
+    st.integers(min_value=0, max_value=10),  # workload seed
+    st.floats(min_value=0.0, max_value=0.05),  # failure probability
+    st.integers(min_value=0, max_value=5),  # fault schedule seed
+)
+
+
+class TestInvariantsUnderFaults:
+    @settings(max_examples=15, deadline=None)
+    @given(fault_params)
+    def test_random_scheduler_survives_random_faults(self, params):
+        workload_seed, probability, fault_seed = params
+        sim = build_sim(workload_seed)
+        injector = FaultInjector.random_schedule(
+            NUM_PMS,
+            NUM_STEPS,
+            failure_probability=probability,
+            mean_repair_steps=4.0,
+            seed=fault_seed,
+        )
+        wrapped = FaultTolerantScheduler(
+            RandomScheduler(migrations_per_step=1, seed=0), injector
+        )
+        result = sim.run(wrapped)
+        assert len(result.metrics.steps) == NUM_STEPS
+        dc = sim.datacenter
+        # RAM never oversubscribed despite crash re-placement.
+        for pm in dc.pms:
+            assert dc.ram_used_mb(pm.pm_id) <= pm.ram_mb + 1e-9
+        # Every VM is placed or known to be stranded — never lost.
+        for vm in dc.vms:
+            assert dc.is_placed(vm.vm_id) or (
+                vm.vm_id in injector.stranded_vm_ids
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(fault_params)
+    def test_megh_survives_random_faults(self, params):
+        workload_seed, probability, fault_seed = params
+        sim = build_sim(workload_seed)
+        injector = FaultInjector.random_schedule(
+            NUM_PMS,
+            NUM_STEPS,
+            failure_probability=probability,
+            mean_repair_steps=4.0,
+            seed=fault_seed,
+        )
+        agent = MeghScheduler.from_simulation(sim, seed=0)
+        wrapped = FaultTolerantScheduler(agent, injector)
+        result = sim.run(wrapped)
+        assert len(result.metrics.steps) == NUM_STEPS
+        for step in result.metrics.steps:
+            assert np.isfinite(step.total_cost_usd)
+
+    @settings(max_examples=10, deadline=None)
+    @given(fault_params)
+    def test_no_vm_on_a_downed_host(self, params):
+        workload_seed, probability, fault_seed = params
+        sim = build_sim(workload_seed)
+        injector = FaultInjector.random_schedule(
+            NUM_PMS,
+            NUM_STEPS,
+            failure_probability=probability,
+            mean_repair_steps=6.0,
+            seed=fault_seed,
+        )
+        violations = []
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                for pm_id in injector.down_pm_ids:
+                    if observation.datacenter.vms_on(pm_id):
+                        violations.append((observation.step, pm_id))
+                return []
+
+        sim.run(FaultTolerantScheduler(Probe(), injector))
+        assert violations == []

@@ -1,0 +1,126 @@
+"""Property-based tests on whole-simulator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.random_policy import RandomScheduler
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.simulation import Simulation
+from repro.config import SimulationConfig
+from repro.core.agent import MeghScheduler
+from repro.workloads.base import ArrayWorkload
+
+from tests.conftest import make_pm, make_vm
+
+
+def build_sim(matrix: np.ndarray, num_pms: int, seed: int = 0) -> Simulation:
+    num_vms, num_steps = matrix.shape
+    pms = [make_pm(i) for i in range(num_pms)]
+    vms = [make_vm(j, ram_mb=512.0) for j in range(num_vms)]
+    dc = Datacenter(pms, vms)
+    for j in range(num_vms):
+        dc.place(j, j % num_pms)
+    workload = ArrayWorkload(matrix)
+    return Simulation(
+        dc, workload, SimulationConfig(num_steps=num_steps, seed=seed)
+    )
+
+
+workload_matrices = st.integers(min_value=2, max_value=5).flatmap(
+    lambda vms: st.integers(min_value=3, max_value=12).flatmap(
+        lambda steps: st.lists(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=steps,
+                max_size=steps,
+            ),
+            min_size=vms,
+            max_size=vms,
+        ).map(np.array)
+    )
+)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(workload_matrices)
+    def test_costs_are_nonnegative_and_finite(self, matrix):
+        sim = build_sim(matrix, num_pms=3)
+        result = sim.run(RandomScheduler(migrations_per_step=1, seed=0))
+        for step in result.metrics.steps:
+            assert step.energy_cost_usd >= 0.0
+            assert step.sla_cost_usd >= 0.0
+            assert np.isfinite(step.total_cost_usd)
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload_matrices)
+    def test_every_vm_stays_placed(self, matrix):
+        sim = build_sim(matrix, num_pms=3)
+        sim.run(RandomScheduler(migrations_per_step=2, seed=1))
+        dc = sim.datacenter
+        assert sorted(dc.placement()) == list(range(dc.num_vms))
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload_matrices)
+    def test_ram_never_oversubscribed(self, matrix):
+        sim = build_sim(matrix, num_pms=2)
+        sim.run(RandomScheduler(migrations_per_step=2, seed=2))
+        dc = sim.datacenter
+        for pm in dc.pms:
+            assert dc.ram_used_mb(pm.pm_id) <= pm.ram_mb + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload_matrices)
+    def test_megh_q_table_never_shrinks(self, matrix):
+        sim = build_sim(matrix, num_pms=3)
+        agent = MeghScheduler.from_simulation(sim, seed=0)
+        sim.run(agent)
+        nnz = agent.qtable.nonzeros
+        assert all(b >= a - 2 for a, b in zip(nnz, nnz[1:]))
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload_matrices)
+    def test_megh_cap_invariant(self, matrix):
+        sim = build_sim(matrix, num_pms=3)
+        agent = MeghScheduler.from_simulation(sim, seed=0)
+        result = sim.run(agent)
+        cap = max(1, int(0.02 * matrix.shape[0]))
+        assert all(
+            s.num_migrations_started <= cap for s in result.metrics.steps
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload_matrices, st.integers(min_value=0, max_value=3))
+    def test_deterministic_under_seed(self, matrix, seed):
+        result_a = build_sim(matrix, num_pms=3).run(
+            RandomScheduler(migrations_per_step=1, seed=seed)
+        )
+        result_b = build_sim(matrix, num_pms=3).run(
+            RandomScheduler(migrations_per_step=1, seed=seed)
+        )
+        assert result_a.total_cost_usd == pytest.approx(
+            result_b.total_cost_usd
+        )
+        assert result_a.total_migrations == result_b.total_migrations
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload_matrices)
+    def test_sla_downtime_fractions_bounded(self, matrix):
+        sim = build_sim(matrix, num_pms=2)
+        result = sim.run(RandomScheduler(migrations_per_step=1, seed=3))
+        for vm_id in range(matrix.shape[0]):
+            fraction = result.sla.downtime_fraction(vm_id)
+            assert 0.0 <= fraction <= 1.0 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload_matrices)
+    def test_energy_bracketed_by_idle_and_peak(self, matrix):
+        sim = build_sim(matrix, num_pms=3)
+        result = sim.run(RandomScheduler(migrations_per_step=0))
+        config = sim.config
+        price = config.costs.energy_price_usd_per_watt_second
+        peak_watts = sum(pm.power_model.max_power for pm in sim.datacenter.pms)
+        upper = peak_watts * config.interval_seconds * price
+        for step in result.metrics.steps:
+            assert step.energy_cost_usd <= upper + 1e-12

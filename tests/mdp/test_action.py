@@ -1,0 +1,72 @@
+"""Tests for the action-space indexing (d = N x M, Theorem 1 basis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mdp.action import ActionSpace, MigrationAction
+
+
+class TestActionSpace:
+    def test_dimension(self):
+        assert ActionSpace(num_vms=3, num_pms=4).dimension == 12
+
+    def test_index_formula(self):
+        space = ActionSpace(num_vms=3, num_pms=4)
+        assert space.index(MigrationAction(vm_id=2, dest_pm_id=3)) == 11
+        assert space.index(MigrationAction(vm_id=0, dest_pm_id=0)) == 0
+        assert space.index(MigrationAction(vm_id=1, dest_pm_id=2)) == 6
+
+    def test_roundtrip(self):
+        space = ActionSpace(num_vms=5, num_pms=7)
+        for index in range(space.dimension):
+            assert space.index(space.action(index)) == index
+
+    def test_out_of_range_action(self):
+        space = ActionSpace(num_vms=2, num_pms=2)
+        with pytest.raises(ConfigurationError):
+            space.index(MigrationAction(vm_id=2, dest_pm_id=0))
+        with pytest.raises(ConfigurationError):
+            space.index(MigrationAction(vm_id=0, dest_pm_id=5))
+
+    def test_out_of_range_index(self):
+        space = ActionSpace(num_vms=2, num_pms=2)
+        with pytest.raises(ConfigurationError):
+            space.action(4)
+        with pytest.raises(ConfigurationError):
+            space.action(-1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ActionSpace(num_vms=0, num_pms=1)
+
+    def test_noop_detection(self):
+        space = ActionSpace(num_vms=2, num_pms=3)
+        action = MigrationAction(vm_id=0, dest_pm_id=1)
+        assert space.is_noop(action, current_host=1)
+        assert not space.is_noop(action, current_host=0)
+
+    def test_actions_for_vm(self):
+        space = ActionSpace(num_vms=2, num_pms=3)
+        actions = list(space.actions_for_vm(1))
+        assert len(actions) == 3
+        assert all(a.vm_id == 1 for a in actions)
+        assert [a.dest_pm_id for a in actions] == [0, 1, 2]
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_index_is_bijection(self, num_vms, num_pms):
+        space = ActionSpace(num_vms=num_vms, num_pms=num_pms)
+        indices = {
+            space.index(MigrationAction(vm_id=j, dest_pm_id=k))
+            for j in range(num_vms)
+            for k in range(num_pms)
+        }
+        assert indices == set(range(space.dimension))
+
+    def test_action_ordering(self):
+        a = MigrationAction(vm_id=0, dest_pm_id=1)
+        b = MigrationAction(vm_id=1, dest_pm_id=0)
+        assert a < b

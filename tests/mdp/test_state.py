@@ -1,0 +1,48 @@
+"""Tests for MDP state snapshots."""
+
+import pytest
+
+from repro.mdp.state import observe_state
+
+
+class TestObserveState:
+    def test_snapshot_fields(self, placed_datacenter):
+        placed_datacenter.vm(0).set_demand(0.5)
+        state = observe_state(placed_datacenter, step=7)
+        assert state.step == 7
+        assert state.num_vms == 6
+        assert state.num_pms == 4
+        assert state.workloads[0] == pytest.approx(0.5)
+        assert dict(state.placement)[0] == 0
+
+    def test_host_of(self, placed_datacenter):
+        state = observe_state(placed_datacenter, step=0)
+        assert state.host_of(4) == 2
+        assert state.host_of(99) is None
+
+    def test_placement_map_copy(self, placed_datacenter):
+        state = observe_state(placed_datacenter, step=0)
+        mapping = state.placement_map()
+        mapping[0] = 99
+        assert state.host_of(0) == 0
+
+    def test_immutable_after_mutation(self, placed_datacenter):
+        state = observe_state(placed_datacenter, step=0)
+        placed_datacenter.move(0, 3)
+        assert state.host_of(0) == 0  # snapshot unaffected
+
+    def test_active_vms(self, placed_datacenter):
+        placed_datacenter.vm(2).set_active(False)
+        state = observe_state(placed_datacenter, step=0)
+        assert 2 not in state.active_vms
+        assert 0 in state.active_vms
+
+    def test_host_utilization(self, placed_datacenter):
+        placed_datacenter.vm(0).set_demand(0.8)
+        placed_datacenter.vm(1).set_demand(0.8)
+        state = observe_state(placed_datacenter, step=0)
+        assert state.host_utilization[0] == pytest.approx(0.4)
+
+    def test_configuration_key_hashable(self, placed_datacenter):
+        state = observe_state(placed_datacenter, step=0)
+        assert hash(state.configuration_key()) == hash(state.placement)

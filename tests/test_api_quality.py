@@ -1,0 +1,111 @@
+"""Library-wide quality gates: docstrings, exports, import hygiene.
+
+These are meta-tests: they walk the installed package and assert the
+documentation and export invariants a downstream user relies on — every
+public module, class, and function documented; every ``__all__`` name
+importable; no module accidentally importing test-only dependencies.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.cloudsim",
+    "repro.core",
+    "repro.costs",
+    "repro.baselines",
+    "repro.baselines.mmt",
+    "repro.workloads",
+    "repro.mdp",
+    "repro.harness",
+]
+
+
+def all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            if not info.ispkg:
+                names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+MODULES = all_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name} has undocumented public members: {undocumented}"
+    )
+
+
+@pytest.mark.parametrize(
+    "package_name",
+    [name for name in PACKAGES],
+)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    for name in exported:
+        assert hasattr(package, name), (
+            f"{package_name}.__all__ lists {name} but it is not importable"
+        )
+
+
+def test_top_level_public_api():
+    # The names README's quickstart and examples rely on.
+    for name in (
+        "build_planetlab_simulation",
+        "build_google_simulation",
+        "MeghScheduler",
+        "MMTScheduler",
+        "MadVMScheduler",
+        "NoMigrationScheduler",
+        "Simulation",
+        "SimulationConfig",
+        "MeghConfig",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_is_pep440ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(part.isdigit() for part in parts[:2])
+
+
+def test_no_module_requires_pytest_at_import():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        source_deps = getattr(module, "__dict__", {})
+        assert "pytest" not in source_deps, (
+            f"{module_name} imports pytest at module scope"
+        )

@@ -1,0 +1,150 @@
+"""Tests for the dynamic cost-model variants (time-of-use, tiered VMs)."""
+
+import pytest
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.sla import SlaAccountant
+from repro.config import CostConfig, SimulationConfig
+from repro.costs.dynamic import (
+    TieredVmPricingSlaCostModel,
+    TimeOfUseEnergyCostModel,
+    peak_offpeak_schedule,
+    spot_and_premium_prices,
+)
+from repro.costs.energy import EnergyCostModel
+from repro.costs.model import OperationCostModel
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_pm, make_vm
+
+
+@pytest.fixture
+def dc():
+    datacenter = Datacenter([make_pm(0)], [make_vm(0)])
+    datacenter.place(0, 0)
+    datacenter.share_cpu()
+    return datacenter
+
+
+class TestSchedule:
+    def test_peak_and_offpeak_bands(self):
+        schedule = peak_offpeak_schedule(
+            peak_multiplier=2.0, offpeak_multiplier=0.5,
+            peak_start_hour=8.0, peak_end_hour=20.0,
+        )
+        assert schedule(12.0) == 2.0
+        assert schedule(3.0) == 0.5
+        assert schedule(20.0) == 0.5  # end is exclusive
+        assert schedule(8.0) == 2.0  # start is inclusive
+
+    def test_wraps_past_midnight(self):
+        schedule = peak_offpeak_schedule()
+        assert schedule(25.0) == schedule(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            peak_offpeak_schedule(peak_multiplier=0.0)
+        with pytest.raises(ConfigurationError):
+            peak_offpeak_schedule(peak_start_hour=10.0, peak_end_hour=5.0)
+
+
+class TestTimeOfUseEnergy:
+    def test_multiplier_applied(self, dc):
+        config = CostConfig()
+        flat = EnergyCostModel(config)
+        tou = TimeOfUseEnergyCostModel(
+            config, lambda hour: 2.0, interval_seconds=300.0
+        )
+        flat_cost = flat.step_cost(dc, 300.0)
+        tou_cost = tou.step_cost(dc, 300.0)
+        assert tou_cost == pytest.approx(2.0 * flat_cost)
+        assert tou.total_usd == pytest.approx(tou_cost)
+
+    def test_clock_advances(self, dc):
+        tou = TimeOfUseEnergyCostModel(
+            CostConfig(), lambda hour: 1.0, interval_seconds=3600.0,
+            start_hour=23.0,
+        )
+        tou.step_cost(dc, 3600.0)
+        tou.step_cost(dc, 3600.0)
+        assert tou.clock_hours == pytest.approx(1.0)  # wrapped past midnight
+
+    def test_band_transition(self, dc):
+        schedule = peak_offpeak_schedule(
+            peak_multiplier=3.0, offpeak_multiplier=1.0,
+            peak_start_hour=1.0, peak_end_hour=2.0,
+        )
+        tou = TimeOfUseEnergyCostModel(
+            CostConfig(), schedule, interval_seconds=3600.0, start_hour=0.0
+        )
+        offpeak = tou.step_cost(dc, 3600.0)  # hour 0
+        peak = tou.step_cost(dc, 3600.0)  # hour 1
+        assert peak == pytest.approx(3.0 * offpeak)
+
+    def test_invalid_schedule_value(self, dc):
+        tou = TimeOfUseEnergyCostModel(
+            CostConfig(), lambda hour: 0.0, interval_seconds=300.0
+        )
+        with pytest.raises(ConfigurationError):
+            tou.step_cost(dc, 300.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            TimeOfUseEnergyCostModel(
+                CostConfig(), lambda hour: 1.0, interval_seconds=0.0
+            )
+
+
+class TestTieredSla:
+    def _violating_accountant(self, vm_ids):
+        accountant = SlaAccountant()
+        for vm_id in vm_ids:
+            accountant.vm_record(vm_id).record_step(30.0, 300.0)
+        return accountant
+
+    def test_premium_vm_costs_more(self):
+        config = CostConfig()
+        model = TieredVmPricingSlaCostModel(config, {0: 2.4, 1: 0.4})
+        accountant = self._violating_accountant([0, 1])
+        cost = model.step_cost(accountant, 300.0)
+        expected = 0.333 * (2.4 + 0.4) * (300.0 / 3600.0)
+        assert cost == pytest.approx(expected)
+
+    def test_missing_vm_uses_default_price(self):
+        config = CostConfig(vm_price_usd_per_hour=1.2)
+        model = TieredVmPricingSlaCostModel(config, {})
+        assert model.price_of(7) == pytest.approx(1.2)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TieredVmPricingSlaCostModel(CostConfig(), {0: -1.0})
+
+    def test_spot_and_premium_helper(self):
+        prices = spot_and_premium_prices(
+            4, premium_vms=[1], premium_price=3.0, spot_price=0.5
+        )
+        assert prices[1] == 3.0
+        assert prices[0] == 0.5
+        with pytest.raises(ConfigurationError):
+            spot_and_premium_prices(2, premium_vms=[5])
+
+
+class TestIntegrationWithSimulation:
+    def test_custom_cost_model_in_run(self, tiny_simulation):
+        from repro.baselines.noop import NoMigrationScheduler
+
+        config = tiny_simulation.config.costs
+        custom = OperationCostModel(
+            config,
+            energy=TimeOfUseEnergyCostModel(
+                config, lambda hour: 2.0, interval_seconds=300.0
+            ),
+        )
+        doubled = tiny_simulation.run(
+            NoMigrationScheduler(), cost_model=custom
+        )
+        tiny_simulation.reset()
+        flat = tiny_simulation.run(NoMigrationScheduler())
+        assert doubled.metrics.total_energy_cost_usd == pytest.approx(
+            2.0 * flat.metrics.total_energy_cost_usd
+        )

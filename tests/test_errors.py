@@ -1,0 +1,29 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.CapacityError,
+        errors.PlacementError,
+        errors.UnknownEntityError,
+        errors.MigrationError,
+        errors.TraceError,
+        errors.SchedulerError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_single_except_catches_everything():
+    try:
+        raise errors.CapacityError("full")
+    except errors.ReproError as caught:
+        assert "full" in str(caught)

@@ -1,0 +1,139 @@
+"""Unit tests for the ArrayWorkload container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.base import ArrayWorkload, Workload
+
+
+@pytest.fixture
+def workload():
+    matrix = np.array([[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]])
+    return ArrayWorkload(matrix, name="test")
+
+
+class TestValidation:
+    def test_rejects_1d(self):
+        with pytest.raises(TraceError):
+            ArrayWorkload(np.array([0.1, 0.2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            ArrayWorkload(np.empty((0, 0)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TraceError):
+            ArrayWorkload(np.array([[1.5]]))
+        with pytest.raises(TraceError):
+            ArrayWorkload(np.array([[-0.1]]))
+
+    def test_rejects_mismatched_mask(self):
+        with pytest.raises(TraceError):
+            ArrayWorkload(np.array([[0.5]]), active=np.array([[True, False]]))
+
+
+class TestAccess:
+    def test_shape(self, workload):
+        assert workload.num_vms == 2
+        assert workload.num_steps == 3
+
+    def test_utilization(self, workload):
+        assert workload.utilization(1, 2) == pytest.approx(0.6)
+
+    def test_always_active_by_default(self, workload):
+        assert workload.is_active(0, 0)
+
+    def test_inactive_returns_zero(self):
+        w = ArrayWorkload(
+            np.array([[0.5, 0.5]]), active=np.array([[True, False]])
+        )
+        assert w.utilization(0, 0) == 0.5
+        assert w.utilization(0, 1) == 0.0
+        assert not w.is_active(0, 1)
+
+    def test_bounds_checked(self, workload):
+        with pytest.raises(TraceError):
+            workload.utilization(5, 0)
+        with pytest.raises(TraceError):
+            workload.utilization(0, 5)
+
+    def test_matrix_readonly(self, workload):
+        with pytest.raises(ValueError):
+            workload.matrix[0, 0] = 0.9
+
+    def test_satisfies_protocol(self, workload):
+        assert isinstance(workload, Workload)
+
+
+class TestSlicing:
+    def test_slice_vms(self, workload):
+        sliced = workload.slice_vms([1])
+        assert sliced.num_vms == 1
+        assert sliced.utilization(0, 0) == pytest.approx(0.4)
+
+    def test_slice_vms_empty_rejected(self, workload):
+        with pytest.raises(TraceError):
+            workload.slice_vms([])
+
+    def test_slice_steps(self, workload):
+        sliced = workload.slice_steps(1, 3)
+        assert sliced.num_steps == 2
+        assert sliced.utilization(0, 0) == pytest.approx(0.2)
+
+    def test_slice_steps_invalid(self, workload):
+        with pytest.raises(TraceError):
+            workload.slice_steps(2, 2)
+        with pytest.raises(TraceError):
+            workload.slice_steps(0, 99)
+
+
+class TestComposition:
+    def test_repeat_tiles_steps(self, workload):
+        tiled = workload.repeat(3)
+        assert tiled.num_steps == 9
+        assert tiled.utilization(0, 3) == workload.utilization(0, 0)
+        assert tiled.utilization(1, 8) == workload.utilization(1, 2)
+
+    def test_repeat_invalid(self, workload):
+        with pytest.raises(TraceError):
+            workload.repeat(0)
+
+    def test_concat_steps(self, workload):
+        from repro.workloads.base import concat_steps
+
+        combined = concat_steps([workload, workload.slice_steps(0, 1)])
+        assert combined.num_steps == 4
+        assert combined.utilization(0, 3) == workload.utilization(0, 0)
+
+    def test_concat_requires_same_vms(self, workload):
+        from repro.workloads.base import concat_steps
+
+        with pytest.raises(TraceError):
+            concat_steps([workload, workload.slice_vms([0])])
+        with pytest.raises(TraceError):
+            concat_steps([])
+
+    def test_stack_vms(self, workload):
+        from repro.workloads.base import stack_vms
+
+        fleet = stack_vms([workload, workload.slice_vms([0])])
+        assert fleet.num_vms == 3
+        assert fleet.utilization(2, 1) == workload.utilization(0, 1)
+
+    def test_stack_requires_same_steps(self, workload):
+        from repro.workloads.base import stack_vms
+
+        with pytest.raises(TraceError):
+            stack_vms([workload, workload.slice_steps(0, 2)])
+        with pytest.raises(TraceError):
+            stack_vms([])
+
+    def test_activity_masks_compose(self):
+        masked = ArrayWorkload(
+            np.array([[0.5, 0.5]]), active=np.array([[True, False]])
+        )
+        tiled = masked.repeat(2)
+        assert tiled.is_active(0, 0)
+        assert not tiled.is_active(0, 1)
+        assert not tiled.is_active(0, 3)

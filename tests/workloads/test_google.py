@@ -1,0 +1,111 @@
+"""Tests for the Google-Cluster-style task generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.google import (
+    GoogleClusterWorkloadConfig,
+    generate_google_workload,
+    sample_task_durations_seconds,
+)
+
+
+class TestGenerator:
+    def test_shape(self):
+        w = generate_google_workload(num_vms=10, num_steps=50, seed=0)
+        assert w.num_vms == 10
+        assert w.num_steps == 50
+
+    def test_deterministic(self):
+        a = generate_google_workload(num_vms=8, num_steps=40, seed=3)
+        b = generate_google_workload(num_vms=8, num_steps=40, seed=3)
+        assert np.array_equal(a.matrix, b.matrix)
+        assert np.array_equal(a.activity, b.activity)
+
+    def test_idle_gaps_between_tasks(self):
+        w = generate_google_workload(
+            num_vms=40, num_steps=300, gap_mean_steps=10.0, seed=0
+        )
+        activity = np.asarray(w.activity)
+        assert activity.mean() < 0.95  # some idle time exists
+
+    def test_inactive_means_zero_utilization(self):
+        w = generate_google_workload(num_vms=20, num_steps=100, seed=1)
+        for vm_id in range(20):
+            for step in range(100):
+                if not w.is_active(vm_id, step):
+                    assert w.utilization(vm_id, step) == 0.0
+
+    def test_tasks_cover_active_steps(self):
+        w, tasks = generate_google_workload(
+            num_vms=10, num_steps=80, seed=0, return_tasks=True
+        )
+        covered = np.zeros((10, 80), dtype=bool)
+        for task in tasks:
+            covered[task.vm_id, task.start_step : task.end_step] = True
+        assert np.array_equal(covered, np.asarray(w.activity))
+
+    def test_low_mean_load(self):
+        w = generate_google_workload(num_vms=100, num_steps=200, seed=0)
+        matrix = np.asarray(w.matrix)
+        active = np.asarray(w.activity)
+        assert matrix[active].mean() < 0.40
+
+    def test_config_and_overrides_exclusive(self):
+        config = GoogleClusterWorkloadConfig(num_vms=5, num_steps=10)
+        with pytest.raises(ConfigurationError):
+            generate_google_workload(config, num_vms=8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vms": 0},
+            {"min_duration_seconds": 0.0},
+            {"min_duration_seconds": 1e7},
+            {"short_task_fraction": 2.0},
+            {"interval_seconds": 0.0},
+            {"gap_mean_steps": -1.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GoogleClusterWorkloadConfig(**kwargs)
+
+
+class TestDurations:
+    def test_duration_range_spans_decades(self):
+        # Paper Figure 1(b): durations from ~10^1 to ~10^6 seconds.
+        config = GoogleClusterWorkloadConfig(num_vms=1, num_steps=1)
+        rng = np.random.default_rng(0)
+        durations = sample_task_durations_seconds(rng, 5000, config)
+        assert durations.min() >= config.min_duration_seconds
+        assert durations.max() <= config.max_duration_seconds
+        assert durations.max() / durations.min() > 1e3
+
+    def test_durations_not_normal(self):
+        # The paper stresses the durations fit no standard distribution;
+        # at minimum they must be strongly right-skewed.
+        config = GoogleClusterWorkloadConfig(num_vms=1, num_steps=1)
+        rng = np.random.default_rng(0)
+        durations = sample_task_durations_seconds(rng, 5000, config)
+        assert np.mean(durations) > 5 * np.median(durations)
+
+    def test_short_task_bump(self):
+        config = GoogleClusterWorkloadConfig(
+            num_vms=1, num_steps=1, short_task_fraction=0.9
+        )
+        rng = np.random.default_rng(0)
+        durations = sample_task_durations_seconds(rng, 2000, config)
+        # With 90 % short tasks the median collapses to the bump (~200 s).
+        assert np.median(durations) < 2000.0
+
+    def test_task_fields(self):
+        _, tasks = generate_google_workload(
+            num_vms=5, num_steps=50, seed=0, return_tasks=True
+        )
+        for task in tasks:
+            assert 0 <= task.vm_id < 5
+            assert task.duration_steps >= 1
+            assert 0.0 < task.utilization <= 1.0
+            assert task.end_step <= 50

@@ -1,0 +1,138 @@
+"""Tests for the real Google cluster task_events loader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.google_trace import (
+    EVENT_SCHEDULE,
+    GoogleTraceInterval,
+    load_google_task_events,
+    parse_task_events,
+)
+
+
+def event_row(
+    timestamp_us, job_id, task_index, event_type, cpu=""
+):
+    """One task_events CSV row (13 columns, mostly blank)."""
+    row = [""] * 13
+    row[0] = str(timestamp_us)
+    row[2] = str(job_id)
+    row[3] = str(task_index)
+    row[5] = str(event_type)
+    row[9] = str(cpu)
+    return ",".join(row)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """Two tasks: one finishes, one killed, one still running."""
+    lines = [
+        event_row(0, 100, 0, 0),  # SUBMIT (ignored)
+        event_row(300_000_000, 100, 0, EVENT_SCHEDULE, cpu="0.25"),
+        event_row(900_000_000, 100, 0, 4),  # FINISH at 900 s
+        event_row(600_000_000, 200, 1, EVENT_SCHEDULE, cpu="0.125"),
+        event_row(1_200_000_000, 200, 1, 5),  # KILL at 1200 s
+        event_row(1_500_000_000, 300, 0, EVENT_SCHEDULE),  # blank cpu
+    ]
+    path = tmp_path / "task_events.csv"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestParse:
+    def test_intervals_reconstructed(self, trace_file):
+        intervals = parse_task_events(trace_file)
+        assert len(intervals) == 3
+        finished = next(i for i in intervals if i.job_id == 100)
+        assert finished.start_seconds == pytest.approx(300.0)
+        assert finished.end_seconds == pytest.approx(900.0)
+        assert finished.cpu_request == pytest.approx(0.25)
+
+    def test_open_interval_kept(self, trace_file):
+        intervals = parse_task_events(trace_file)
+        running = next(i for i in intervals if i.job_id == 300)
+        assert running.end_seconds is None
+
+    def test_unmatched_terminal_skipped(self, tmp_path):
+        path = tmp_path / "orphan.csv"
+        path.write_text(event_row(100, 1, 0, 4) + "\n")
+        assert parse_task_events(str(path)) == []
+
+    def test_missing_file(self):
+        with pytest.raises(TraceError):
+            parse_task_events("/nonexistent.csv")
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(TraceError):
+            parse_task_events(str(path))
+
+    def test_malformed_numbers_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(event_row("abc", 1, 0, 1) + "\n")
+        with pytest.raises(TraceError):
+            parse_task_events(str(path))
+
+    def test_sorted_by_start(self, trace_file):
+        intervals = parse_task_events(trace_file)
+        starts = [i.start_seconds for i in intervals]
+        assert starts == sorted(starts)
+
+
+class TestLoad:
+    def test_workload_shape_and_levels(self, trace_file):
+        workload = load_google_task_events(
+            trace_file, interval_seconds=300.0, cpu_scale=2.0
+        )
+        assert workload.num_vms == 3
+        # Task (100, 0): active steps 1-2 (300-900 s) at 0.25*2 = 0.5.
+        assert workload.is_active(0, 1)
+        assert workload.utilization(0, 1) == pytest.approx(0.5)
+        assert not workload.is_active(0, 0)
+        assert not workload.is_active(0, 3)
+
+    def test_blank_cpu_uses_default(self, trace_file):
+        workload = load_google_task_events(
+            trace_file, default_utilization=0.33
+        )
+        # Task (300, 0) runs from 1500 s to the horizon at the default.
+        step = int(1500 // 300)
+        assert workload.utilization(2, step) == pytest.approx(0.33)
+
+    def test_open_interval_runs_to_end(self, trace_file):
+        workload = load_google_task_events(trace_file, num_steps=8)
+        assert workload.is_active(2, 7)
+
+    def test_max_vms(self, trace_file):
+        workload = load_google_task_events(trace_file, max_vms=2)
+        assert workload.num_vms == 2
+
+    def test_num_steps_truncates(self, trace_file):
+        workload = load_google_task_events(trace_file, num_steps=3)
+        assert workload.num_steps == 3
+
+    def test_values_in_range(self, trace_file):
+        workload = load_google_task_events(trace_file, cpu_scale=10.0)
+        assert float(np.asarray(workload.matrix).max()) <= 1.0
+
+    def test_invalid_interval(self, trace_file):
+        with pytest.raises(TraceError):
+            load_google_task_events(trace_file, interval_seconds=0.0)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            load_google_task_events(str(path))
+
+    def test_runs_through_simulator(self, trace_file):
+        from repro.baselines.noop import NoMigrationScheduler
+        from repro.harness.builders import build_simulation
+
+        workload = load_google_task_events(trace_file, num_steps=6)
+        sim = build_simulation(workload, num_pms=2, fleet_style="google")
+        result = sim.run(NoMigrationScheduler(), num_steps=6)
+        assert len(result.metrics.steps) == 6

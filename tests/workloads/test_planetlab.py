@@ -1,0 +1,126 @@
+"""Tests for the PlanetLab synthetic generator and trace loader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads.planetlab import (
+    PlanetLabWorkloadConfig,
+    STEPS_PER_DAY,
+    generate_planetlab_workload,
+    load_planetlab_directory,
+)
+
+
+class TestGenerator:
+    def test_shape(self):
+        w = generate_planetlab_workload(num_vms=10, num_steps=50, seed=0)
+        assert w.num_vms == 10
+        assert w.num_steps == 50
+
+    def test_deterministic(self):
+        a = generate_planetlab_workload(num_vms=8, num_steps=40, seed=3)
+        b = generate_planetlab_workload(num_vms=8, num_steps=40, seed=3)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_seeds_differ(self):
+        a = generate_planetlab_workload(num_vms=8, num_steps=40, seed=1)
+        b = generate_planetlab_workload(num_vms=8, num_steps=40, seed=2)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_values_in_range(self):
+        w = generate_planetlab_workload(num_vms=20, num_steps=100, seed=0)
+        assert np.all(w.matrix >= 0.0)
+        assert np.all(w.matrix <= 1.0)
+
+    def test_calibration_matches_paper_statistics(self):
+        # Paper: mean ~12 %, high dispersion, heavy VMs present.
+        w = generate_planetlab_workload(
+            num_vms=200, num_steps=STEPS_PER_DAY, seed=0
+        )
+        matrix = np.asarray(w.matrix)
+        assert 0.05 <= matrix.mean() <= 0.30
+        assert matrix.std() >= 0.10
+        assert matrix.max() >= 0.80
+
+    def test_heavy_fraction_respected(self):
+        w = generate_planetlab_workload(
+            num_vms=100, num_steps=100, heavy_fraction=0.2, seed=0
+        )
+        per_vm_mean = np.asarray(w.matrix).mean(axis=1)
+        heavy = int(np.sum(per_vm_mean > 0.35))
+        assert 12 <= heavy <= 28  # ~20 expected
+
+    def test_temporal_autocorrelation(self):
+        # AR(1) jitter means consecutive samples correlate.
+        w = generate_planetlab_workload(num_vms=50, num_steps=200, seed=0)
+        matrix = np.asarray(w.matrix)
+        diffs = np.abs(np.diff(matrix, axis=1)).mean()
+        shuffled = matrix.copy()
+        rng = np.random.default_rng(0)
+        for row in shuffled:
+            rng.shuffle(row)
+        shuffled_diffs = np.abs(np.diff(shuffled, axis=1)).mean()
+        assert diffs < shuffled_diffs
+
+    def test_always_active(self):
+        w = generate_planetlab_workload(num_vms=5, num_steps=10, seed=0)
+        assert np.all(w.activity)
+
+    def test_config_and_overrides_exclusive(self):
+        config = PlanetLabWorkloadConfig(num_vms=5, num_steps=10)
+        with pytest.raises(ConfigurationError):
+            generate_planetlab_workload(config, num_vms=8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vms": 0},
+            {"heavy_fraction": 1.5},
+            {"ar_coefficient": 1.0},
+            {"base_mean": -0.1},
+            {"burst_duration_steps": 0.5},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PlanetLabWorkloadConfig(**kwargs)
+
+
+class TestLoader:
+    def _write_trace(self, directory, name, values):
+        path = directory / name
+        path.write_text("\n".join(str(v) for v in values) + "\n")
+
+    def test_loads_comon_format(self, tmp_path):
+        self._write_trace(tmp_path, "vm_a", [10, 20, 30])
+        self._write_trace(tmp_path, "vm_b", [40, 50, 60])
+        w = load_planetlab_directory(str(tmp_path))
+        assert w.num_vms == 2
+        assert w.num_steps == 3
+        assert w.utilization(0, 1) == pytest.approx(0.20)
+        assert w.utilization(1, 2) == pytest.approx(0.60)
+
+    def test_truncates_to_shortest(self, tmp_path):
+        self._write_trace(tmp_path, "a", [10, 20, 30, 40])
+        self._write_trace(tmp_path, "b", [50, 60])
+        w = load_planetlab_directory(str(tmp_path))
+        assert w.num_steps == 2
+
+    def test_explicit_steps_enforced(self, tmp_path):
+        self._write_trace(tmp_path, "a", [10, 20])
+        with pytest.raises(TraceError):
+            load_planetlab_directory(str(tmp_path), num_steps=5)
+
+    def test_missing_directory(self):
+        with pytest.raises(TraceError):
+            load_planetlab_directory("/nonexistent/path")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_planetlab_directory(str(tmp_path))
+
+    def test_empty_file(self, tmp_path):
+        (tmp_path / "empty").write_text("")
+        with pytest.raises(TraceError):
+            load_planetlab_directory(str(tmp_path))

@@ -1,0 +1,105 @@
+"""Tests for the workload statistics backing Figure 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.base import ArrayWorkload
+from repro.workloads.statistics import (
+    cullen_frey_coordinates,
+    duration_histogram,
+    nearest_standard_distribution,
+    summarize_workload,
+)
+from repro.workloads.planetlab import generate_planetlab_workload
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        matrix = np.array([[0.2, 0.4], [0.6, 0.8]])
+        stats = summarize_workload(ArrayWorkload(matrix))
+        assert stats.num_vms == 2
+        assert stats.num_steps == 2
+        assert stats.mean_utilization == pytest.approx(0.5)
+        assert stats.per_step_mean == pytest.approx((0.4, 0.6))
+        assert stats.per_step_max == pytest.approx((0.6, 0.8))
+        assert stats.per_step_min == pytest.approx((0.2, 0.4))
+        assert stats.activity_fraction == 1.0
+
+    def test_activity_mask_respected(self):
+        matrix = np.array([[0.5, 0.5]])
+        active = np.array([[True, False]])
+        stats = summarize_workload(ArrayWorkload(matrix, active))
+        assert stats.activity_fraction == pytest.approx(0.5)
+        assert stats.mean_utilization == pytest.approx(0.5)
+
+    def test_describe_mentions_shape(self):
+        stats = summarize_workload(ArrayWorkload(np.array([[0.1]])))
+        assert "1 VMs x 1 steps" in stats.describe()
+
+    def test_fig1a_shape_on_planetlab(self):
+        # Figure 1(a): per-step max far above per-step mean.
+        w = generate_planetlab_workload(num_vms=100, num_steps=100, seed=0)
+        stats = summarize_workload(w)
+        assert max(stats.per_step_max) > 3 * max(stats.per_step_mean)
+
+
+class TestDurationHistogram:
+    def test_log_bins_cover_range(self):
+        durations = [10.0, 100.0, 1000.0, 1e6]
+        bins = duration_histogram(durations, bins_per_decade=1)
+        assert sum(count for _, _, count in bins) == 4
+        assert bins[0][0] <= 10.0
+        assert bins[-1][1] >= 1e6
+
+    def test_counts_in_right_bins(self):
+        durations = [15.0] * 5 + [1500.0] * 3
+        bins = duration_histogram(durations, bins_per_decade=1)
+        by_low = {int(low): count for low, _, count in bins}
+        assert by_low[10] == 5
+        assert by_low[1000] == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            duration_histogram([])
+        with pytest.raises(TraceError):
+            duration_histogram([0.0, -1.0])
+
+
+class TestCullenFrey:
+    def test_normal_near_reference(self):
+        rng = np.random.default_rng(0)
+        skew2, kurt = cullen_frey_coordinates(rng.normal(size=20000))
+        assert skew2 == pytest.approx(0.0, abs=0.05)
+        assert kurt == pytest.approx(3.0, abs=0.2)
+
+    def test_uniform_near_reference(self):
+        rng = np.random.default_rng(0)
+        skew2, kurt = cullen_frey_coordinates(rng.uniform(size=20000))
+        assert kurt == pytest.approx(1.8, abs=0.1)
+
+    def test_exponential_near_reference(self):
+        rng = np.random.default_rng(0)
+        skew2, kurt = cullen_frey_coordinates(rng.exponential(size=50000))
+        assert skew2 == pytest.approx(4.0, abs=0.6)
+
+    def test_constant_series(self):
+        assert cullen_frey_coordinates([2.0] * 10) == (0.0, 0.0)
+
+    def test_requires_four_samples(self):
+        with pytest.raises(TraceError):
+            cullen_frey_coordinates([1.0, 2.0])
+
+    def test_nearest_named_distributions(self):
+        rng = np.random.default_rng(0)
+        assert nearest_standard_distribution(rng.normal(size=20000)) == "normal"
+        assert (
+            nearest_standard_distribution(rng.uniform(size=20000)) == "uniform"
+        )
+
+    def test_heavy_tail_is_nonstandard(self):
+        # Paper: neither trace matches a standard family; a log-uniform
+        # heavy tail must land far from every reference point.
+        rng = np.random.default_rng(0)
+        samples = 10.0 ** rng.uniform(1, 6, size=5000)
+        assert nearest_standard_distribution(samples) == "none (non-standard)"

@@ -1,0 +1,93 @@
+"""Tests for the simple synthetic workload shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import (
+    constant_workload,
+    periodic_workload,
+    random_walk_workload,
+    spike_workload,
+)
+
+
+class TestConstant:
+    def test_level(self):
+        w = constant_workload(3, 5, level=0.4)
+        assert np.all(np.asarray(w.matrix) == 0.4)
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            constant_workload(3, 5, level=1.2)
+
+
+class TestPeriodic:
+    def test_bounds(self):
+        w = periodic_workload(4, 100, low=0.2, high=0.8)
+        matrix = np.asarray(w.matrix)
+        assert matrix.min() >= 0.2 - 1e-9
+        assert matrix.max() <= 0.8 + 1e-9
+
+    def test_periodicity(self):
+        w = periodic_workload(1, 96, low=0.0, high=1.0, period=48)
+        matrix = np.asarray(w.matrix)
+        assert matrix[0, 0] == pytest.approx(matrix[0, 48], abs=1e-9)
+
+    def test_phase_shift_varies_vms(self):
+        w = periodic_workload(4, 48, phase_shift=True)
+        matrix = np.asarray(w.matrix)
+        assert not np.allclose(matrix[0], matrix[1])
+
+    def test_no_phase_shift(self):
+        w = periodic_workload(4, 48, phase_shift=False)
+        matrix = np.asarray(w.matrix)
+        assert np.allclose(matrix[0], matrix[3])
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            periodic_workload(1, 10, low=0.9, high=0.1)
+        with pytest.raises(ConfigurationError):
+            periodic_workload(1, 10, period=1)
+
+
+class TestRandomWalk:
+    def test_bounds(self):
+        w = random_walk_workload(10, 200, seed=0)
+        matrix = np.asarray(w.matrix)
+        assert matrix.min() >= 0.0
+        assert matrix.max() <= 1.0
+
+    def test_deterministic(self):
+        a = random_walk_workload(5, 50, seed=2)
+        b = random_walk_workload(5, 50, seed=2)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_moves_from_start(self):
+        w = random_walk_workload(5, 100, start=0.5, step_std=0.1, seed=0)
+        matrix = np.asarray(w.matrix)
+        assert np.abs(matrix[:, -1] - 0.5).max() > 0.01
+
+    def test_invalid_start(self):
+        with pytest.raises(ConfigurationError):
+            random_walk_workload(1, 10, start=2.0)
+
+
+class TestSpike:
+    def test_base_and_spike_values_only(self):
+        w = spike_workload(5, 100, base=0.1, spike=0.9, seed=0)
+        values = set(np.unique(np.asarray(w.matrix)))
+        assert values <= {0.1, 0.9}
+
+    def test_spike_probability_roughly_respected(self):
+        w = spike_workload(
+            50, 200, base=0.0, spike=1.0, spike_probability=0.1, seed=0
+        )
+        fraction = np.asarray(w.matrix).mean()
+        assert 0.05 < fraction < 0.15
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            spike_workload(1, 10, base=2.0)
+        with pytest.raises(ConfigurationError):
+            spike_workload(1, 10, spike_probability=-0.1)
