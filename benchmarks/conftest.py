@@ -9,7 +9,13 @@ so one round is the meaningful unit.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Benchmarks measure clean timings: runtime contracts and per-step
+# validation default off here (export REPRO_CONTRACTS=1 to force on).
+os.environ.setdefault("REPRO_CONTRACTS", "0")
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,39 @@
+"""meghlint: project-specific static analysis for the Megh reproduction.
+
+Megh's headline result — a convergent learn-as-you-go scheduler — is only
+reproducible if every run is bit-deterministic under a seed and the
+Sherman–Morrison incremental inverse stays numerically honest.  This
+package provides an AST-based lint framework that enforces exactly those
+project invariants:
+
+* a rule registry (:mod:`repro.analysis.rules`) with the MEGH rule set
+  (unseeded randomness, wall-clock reads, float equality, mutable
+  defaults, missing seed plumbing, swallowed exceptions);
+* an engine (:mod:`repro.analysis.engine`) that walks files, applies the
+  rules, and honours ``# meghlint: ignore[RULE]`` suppressions;
+* text and JSON reporters (:mod:`repro.analysis.reporting`);
+* a CLI (:mod:`repro.analysis.cli`), reachable as ``repro lint`` /
+  ``megh-repro lint`` or ``python -m repro.analysis``.
+
+The runtime counterpart — contracts that audit the live LSPI state —
+lives in :mod:`repro.core.contracts`.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import LintConfig, lint_file, lint_paths, lint_source
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import RULE_REGISTRY, Rule, all_rule_ids
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintConfig",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rule_ids",
+]

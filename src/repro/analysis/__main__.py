@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run meghlint directly."""
+
+from repro.analysis.cli import run
+
+if __name__ == "__main__":
+    raise SystemExit(run())

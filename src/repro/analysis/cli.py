@@ -1,0 +1,91 @@
+"""``repro lint`` — the meghlint command-line front end.
+
+Exit codes: 0 when clean, 1 when any finding survives suppression,
+2 on usage errors (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.engine import LintConfig, lint_paths
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import RULE_REGISTRY, all_rule_ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "meghlint: static analysis for determinism, numerical "
+            "safety, and simulator invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_rule_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro lint``; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            rule_class = RULE_REGISTRY[rule_id]
+            print(
+                f"{rule_id} [{rule_class.severity}] {rule_class.summary}"
+            )
+        return 0
+    try:
+        config = LintConfig(
+            select=_split_rule_ids(args.select),
+            ignore=_split_rule_ids(args.ignore),
+        )
+        config.rules()  # validate rule ids before touching the filesystem
+        result = lint_paths(args.paths, config)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"repro lint: error: {error}")
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

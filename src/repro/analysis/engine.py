@@ -1,0 +1,200 @@
+"""meghlint engine: file walking, parsing, suppression filtering.
+
+Suppression syntax (checked on the diagnostic's own line)::
+
+    x = 1.0
+    if x == 1.0:  # meghlint: ignore[MEGH003] -- exact sentinel, set above
+        ...
+
+``ignore`` with no bracket suppresses every rule on that line;
+``ignore[MEGH003,MEGH006]`` suppresses the listed rules.  A module whose
+first lines contain ``# meghlint: skip-file`` is not linted at all
+(used for test fixtures that intentionally violate rules).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_key
+from repro.analysis.rules import Rule, RuleContext, build_rules
+
+_SUPPRESSION_PATTERN = re.compile(
+    r"#\s*meghlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+_SKIP_FILE_PATTERN = re.compile(r"#\s*meghlint:\s*skip-file")
+
+#: How many leading lines may carry a skip-file marker.
+_SKIP_FILE_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run and over which files."""
+
+    select: Optional[Sequence[str]] = None
+    ignore: Optional[Sequence[str]] = None
+    #: Directory names never descended into.
+    excluded_dirs: Sequence[str] = (
+        ".git",
+        "__pycache__",
+        ".mypy_cache",
+        ".ruff_cache",
+        "build",
+        "dist",
+    )
+
+    def rules(self) -> List[Rule]:
+        return build_rules(select=self.select, ignore=self.ignore)
+
+
+@dataclass
+class LintResult:
+    """Diagnostics plus bookkeeping for the reporters."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(
+            1
+            for d in self.diagnostics
+            if d.severity is Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1
+            for d in self.diagnostics
+            if d.severity is Severity.WARNING
+        )
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+
+def _line_suppressions(source_lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line number -> suppressed rule ids (None = all)."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for number, line in enumerate(source_lines, start=1):
+        match = _SUPPRESSION_PATTERN.search(line)
+        if not match:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            suppressions[number] = None
+        else:
+            rule_ids = {
+                part.strip().upper()
+                for part in listed.split(",")
+                if part.strip()
+            }
+            suppressions[number] = rule_ids or None
+    return suppressions
+
+
+def _is_suppressed(
+    diagnostic: Diagnostic,
+    suppressions: Dict[int, Optional[Set[str]]],
+) -> bool:
+    if diagnostic.line not in suppressions:
+        return False
+    rule_ids = suppressions[diagnostic.line]
+    return rule_ids is None or diagnostic.rule_id in rule_ids
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+    result: Optional[LintResult] = None,
+) -> LintResult:
+    """Lint one module's source text."""
+    config = config or LintConfig()
+    result = result if result is not None else LintResult()
+    source_lines = source.splitlines()
+    result.files_checked += 1
+    for line in source_lines[:_SKIP_FILE_WINDOW]:
+        if _SKIP_FILE_PATTERN.search(line):
+            return result
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        result.diagnostics.append(
+            Diagnostic(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 0) or 1,
+                rule_id="MEGH000",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        return result
+    context = RuleContext(
+        path=path, tree=tree, source_lines=tuple(source_lines)
+    )
+    suppressions = _line_suppressions(source_lines)
+    for rule in config.rules():
+        for diagnostic in rule.check(context):
+            if _is_suppressed(diagnostic, suppressions):
+                result.suppressed += 1
+            else:
+                result.diagnostics.append(diagnostic)
+    return result
+
+
+def lint_file(
+    path: Union[str, Path],
+    config: Optional[LintConfig] = None,
+    result: Optional[LintResult] = None,
+) -> LintResult:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(
+        source, path=str(file_path), config=config, result=result
+    )
+
+
+def iter_python_files(
+    paths: Iterable[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    config = config or LintConfig()
+    excluded = set(config.excluded_dirs)
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if excluded.intersection(candidate.parts):
+                    continue
+                found.append(candidate)
+        elif path.suffix == ".py":
+            found.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return found
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under the given files/directories."""
+    config = config or LintConfig()
+    result = LintResult()
+    for file_path in iter_python_files(paths, config):
+        lint_file(file_path, config=config, result=result)
+    result.diagnostics.sort(key=sort_key)
+    return result

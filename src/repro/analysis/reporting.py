@@ -1,0 +1,45 @@
+"""Reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding plus a summary, ruff/flake8 style."""
+    lines = [diagnostic.format() for diagnostic in result.diagnostics]
+    noun = "file" if result.files_checked == 1 else "files"
+    if result.clean:
+        summary = f"meghlint: ok — {result.files_checked} {noun} checked"
+    else:
+        summary = (
+            f"meghlint: {len(result.diagnostics)} finding(s) "
+            f"({result.errors} error(s), {result.warnings} warning(s)) "
+            f"in {result.files_checked} {noun}"
+        )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document for CI and tooling."""
+    document = {
+        "tool": "meghlint",
+        "version": 1,
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.diagnostics),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "suppressed": result.suppressed,
+            "clean": result.clean,
+        },
+        "diagnostics": [
+            diagnostic.to_dict() for diagnostic in result.diagnostics
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

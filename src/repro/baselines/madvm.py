@@ -88,7 +88,7 @@ class LevelDynamics:
             discount = gamma**h
             total += discount * float(distribution @ mids)
             weight += discount
-        if weight == 0.0:
+        if weight <= 0.0:
             return current_utilization
         return total / weight
 

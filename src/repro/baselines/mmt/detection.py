@@ -17,7 +17,7 @@ LR/LRR safety=1.2, window of 10–12 samples).
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from repro.cloudsim.monitor import (
     interquartile_range,
@@ -142,7 +142,7 @@ def _least_squares_fit(ys: Sequence[float]) -> tuple[float, float]:
     mean_x = (n - 1) / 2.0
     mean_y = sum(ys) / n
     den = sum((x - mean_x) ** 2 for x in xs)
-    if den == 0.0:
+    if den <= 0.0:
         return (mean_y, 0.0)
     num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
     slope = num / den
@@ -154,13 +154,13 @@ def _weighted_fit(
 ) -> tuple[float, float]:
     """Weighted least squares ``y = a + b x`` over ``x = 0..len-1``."""
     total = sum(weights)
-    if total == 0.0:
+    if total <= 0.0:
         return _least_squares_fit(ys)
     xs = range(len(ys))
     mean_x = sum(w * x for w, x in zip(weights, xs)) / total
     mean_y = sum(w * y for w, y in zip(weights, ys)) / total
     den = sum(w * (x - mean_x) ** 2 for w, x in zip(weights, xs))
-    if den == 0.0:
+    if den <= 0.0:
         return (mean_y, 0.0)
     num = sum(
         w * (x - mean_x) * (y - mean_y)
@@ -232,7 +232,7 @@ class RobustLocalRegressionDetector(LocalRegressionDetector):
                 y - (intercept + slope * x) for x, y in enumerate(history)
             ]
             scale = 6.0 * _median_abs(residuals)
-            if scale == 0.0:
+            if scale <= 0.0:
                 break
             weights = [_bisquare(r / scale) for r in residuals]
             intercept, slope = _weighted_fit(history, weights)

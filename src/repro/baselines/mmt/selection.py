@@ -84,7 +84,7 @@ class MaximumCorrelationSelection:
         cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
         var_x = sum((x - mean_x) ** 2 for x in xs)
         var_y = sum((y - mean_y) ** 2 for y in ys)
-        if var_x == 0.0 or var_y == 0.0:
+        if var_x <= 0.0 or var_y <= 0.0:
             return 0.0
         return cov / (var_x * var_y) ** 0.5
 

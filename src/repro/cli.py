@@ -1,4 +1,4 @@
-"""Command-line interface: ``megh-repro <experiment>``.
+"""Command-line interface: ``megh-repro <experiment>`` / ``repro lint``.
 
 Runs any of the reproduced experiments at bench scale and prints the
 paper-style table or series, e.g.::
@@ -7,6 +7,13 @@ paper-style table or series, e.g.::
     megh-repro fig4 --steps 300
     megh-repro fig6
     megh-repro list
+
+The ``lint`` subcommand runs meghlint, the project's static-analysis
+pass (see :mod:`repro.analysis` and ``docs/static_analysis.md``)::
+
+    repro lint src/ benchmarks/
+    repro lint --list-rules
+    repro lint --format json src/repro/core
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id: table2, table3, fig2..fig8, 'compare', "
-            "or 'list'"
+            "'lint', or 'list'"
         ),
     )
     parser.add_argument(
@@ -188,7 +195,12 @@ def _run_fig8(steps: Optional[int], seed: Optional[int]) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        from repro.analysis.cli import run as run_lint
+
+        return run_lint(arguments[1:])
+    args = _build_parser().parse_args(arguments)
     experiment = args.experiment.lower()
     try:
         if experiment == "list":
@@ -200,6 +212,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "compare  custom comparison "
                 "(--pms/--vms/--workload/--report/--claims)"
+            )
+            print(
+                "lint     meghlint static analysis "
+                "(paths, --format, --select, --ignore, --list-rules)"
             )
             return 0
     except BrokenPipeError:

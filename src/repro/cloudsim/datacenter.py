@@ -209,7 +209,7 @@ class Datacenter:
             if not hosted:
                 continue
             total_demand = sum(self._vms[j].demanded_mips for j in hosted)
-            if total_demand <= pm.mips or total_demand == 0.0:
+            if total_demand <= pm.mips or total_demand <= 0.0:
                 scale = 1.0
             else:
                 scale = pm.mips / total_demand

@@ -114,7 +114,9 @@ class MetricsCollector:
             return len(costs)
         means = _rolling_mean(costs, window)
         final = means[-1]
-        if final == 0.0:
+        if abs(final) <= 1e-12:
+            # A (numerically) zero final mean makes the relative band
+            # meaningless: a cost-free run is converged from step 0.
             return 0
         for index, value in enumerate(means):
             tail = means[index:]

@@ -144,7 +144,7 @@ class Simulation:
         num_steps: Optional[int] = None,
         cost_model: Optional[OperationCostModel] = None,
         event_log=None,
-        validate_every_step: bool = False,
+        validate_every_step: Optional[bool] = None,
     ) -> SimulationResult:
         """Run the scheduler for ``num_steps`` intervals (default: config).
 
@@ -161,8 +161,14 @@ class Simulation:
         ``validate_every_step`` runs the
         :mod:`repro.cloudsim.validation` invariant checks after every
         interval — slow, but catches scheduler/engine bugs at the step
-        that introduced them.
+        that introduced them.  The default (``None``) follows the
+        runtime-contract toggle (:func:`repro.core.contracts
+        .contracts_enabled`): on in the test suite, off in benchmarks.
         """
+        if validate_every_step is None:
+            from repro.core.contracts import contracts_enabled
+
+            validate_every_step = contracts_enabled()
         steps = num_steps if num_steps is not None else self.config.num_steps
         if steps > self.workload.num_steps:
             raise ConfigurationError(

@@ -37,7 +37,7 @@ class HostSlaRecord:
     @property
     def overload_fraction(self) -> float:
         """``O_i(t) = T_o / T_a`` (Eq. 4); 0 when never active."""
-        if self.active_seconds == 0.0:
+        if self.active_seconds <= 0.0:
             return 0.0
         return self.overload_seconds / self.active_seconds
 
@@ -65,7 +65,7 @@ class VmSlaRecord:
     @property
     def cumulative_downtime_fraction(self) -> float:
         """Downtime over the VM's whole lifetime."""
-        if self.requested_seconds == 0.0:
+        if self.requested_seconds <= 0.0:
             return 0.0
         return self.total_downtime_seconds / self.requested_seconds
 
@@ -77,7 +77,7 @@ class VmSlaRecord:
         on; it recovers once service is restored.
         """
         requested = sum(r for _, r in self._window)
-        if requested == 0.0:
+        if requested <= 0.0:
             return 0.0
         downtime = sum(d for d, _ in self._window)
         return downtime / requested

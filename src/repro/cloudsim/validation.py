@@ -16,6 +16,11 @@ from typing import List
 from repro.cloudsim.datacenter import Datacenter
 from repro.errors import ReproError
 
+#: Tolerance for demand values that should be zero: workload generators
+#: compute utilizations in float arithmetic, so an "inactive" VM may carry
+#: a few ULPs of dust rather than an exact 0.0.
+DEMAND_EPSILON = 1e-9
+
 
 class InvariantViolation(ReproError):
     """One or more data-center invariants do not hold."""
@@ -98,7 +103,7 @@ def find_violations(datacenter: Datacenter) -> List[str]:
                 f"VM {vm.vm_id} bandwidth utilization out of [0, 1]: "
                 f"{vm.demanded_bandwidth_utilization}"
             )
-        if not vm.is_active and vm.demanded_utilization != 0.0:
+        if not vm.is_active and abs(vm.demanded_utilization) > DEMAND_EPSILON:
             violations.append(
                 f"inactive VM {vm.vm_id} demands "
                 f"{vm.demanded_utilization}"

@@ -29,6 +29,12 @@ import numpy as np
 from repro.cloudsim.migration import Migration
 from repro.config import MeghConfig
 from repro.core.basis import SparseBasis
+from repro.core.contracts import (
+    ContractConfig,
+    ShermanMorrisonAuditor,
+    contracts_enabled,
+    require_finite,
+)
 from repro.core.exploration import BoltzmannPolicy
 from repro.core.lstd import SparseLstd
 from repro.core.qtable import QTableTracker
@@ -51,6 +57,10 @@ class MeghScheduler:
             Boltzmann calculator; inject
             :class:`~repro.core.exploration.EpsilonGreedyPolicy` for the
             ablation).
+        contracts: runtime numerical-contract configuration (see
+            :mod:`repro.core.contracts`).  ``None`` consults
+            :func:`~repro.core.contracts.contracts_enabled` — on in the
+            test suite, off in benchmarks; pass ``False`` to force off.
     """
 
     name = "Megh"
@@ -65,6 +75,7 @@ class MeghScheduler:
         policy=None,
         bandwidth_beta: Optional[float] = None,
         trace=None,
+        contracts=None,
     ) -> None:
         if not 0 < beta <= 1:
             raise ConfigurationError("beta must be in (0, 1]")
@@ -95,6 +106,14 @@ class MeghScheduler:
         #: Optional DecisionTrace collecting per-step records.
         self.trace = trace
         self._last_normalized_cost: Optional[float] = None
+        if contracts is None:
+            contracts = ContractConfig() if contracts_enabled() else False
+        #: Runtime numerical-contract auditor (None when contracts off).
+        self.auditor = (
+            ShermanMorrisonAuditor(self.lstd, contracts)
+            if isinstance(contracts, ContractConfig)
+            else None
+        )
 
     @classmethod
     def from_simulation(
@@ -102,6 +121,7 @@ class MeghScheduler:
         simulation,
         config: Optional[MeghConfig] = None,
         seed: int = 0,
+        contracts=None,
     ) -> "MeghScheduler":
         """Build an agent sized and thresholded to match a simulation."""
         dc_config = simulation.config.datacenter
@@ -111,6 +131,7 @@ class MeghScheduler:
             config=config,
             beta=dc_config.overload_threshold,
             seed=seed,
+            contracts=contracts,
             bandwidth_beta=(
                 dc_config.bandwidth_overload_threshold
                 if dc_config.bandwidth_aware
@@ -336,12 +357,16 @@ class MeghScheduler:
         if not self._previous_action_indices:
             return
         cost = self._normalize_cost(observation.last_step_cost_usd)
+        if self.auditor is not None:
+            require_finite("normalized step cost", cost)
         next_index = self._greedy_candidate_index(candidates)
         for action_index in self._previous_action_indices:
             target = next_index if next_index is not None else action_index
             # Each action "in effect" last step receives the full step
             # cost, the multi-action extension of Algorithm 1's line 10.
             self.lstd.update(action_index, target, cost)
+            if self.auditor is not None:
+                self.auditor.after_update(action_index, target)
 
     def _normalize_cost(self, cost_usd: float) -> float:
         """Scale the raw USD step cost into Boltzmann-comparable units.

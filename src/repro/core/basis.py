@@ -47,7 +47,9 @@ class SparseBasis:
         b = self.index_of(next_action)
         if a == b:
             value = 1.0 - gamma
-            return {a: value} if value != 0.0 else {}
-        if gamma == 0.0:
+            # 1 - gamma is exactly 0.0 only for gamma == 1.0, which the
+            # guard above rejects; the check is an algebraic sentinel.
+            return {a: value} if value != 0.0 else {}  # meghlint: ignore[MEGH003] -- exact algebraic zero, gamma < 1 guaranteed
+        if gamma == 0.0:  # meghlint: ignore[MEGH003] -- exact config sentinel: gamma=0 stores a strictly sparser vector
             return {a: 1.0}
         return {a: 1.0, b: -gamma}

@@ -66,7 +66,7 @@ class BoltzmannPolicy:
         """Normalised selection probabilities."""
         weights = self.weights(q_values)
         total = sum(weights)
-        if total == 0.0:
+        if total <= 0.0:
             # All weights underflowed: fall back to uniform over the
             # minimisers, preserving greedy behaviour.
             minimum = min(q_values)

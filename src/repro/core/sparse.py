@@ -102,14 +102,14 @@ class SparseMatrix:
 
         Cost is O(nnz(col) * nnz(row)), independent of the dimension.
         """
-        if scale == 0.0:
+        if scale == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit; any nonzero scale must update
             return
         for i, ci in col.items():
-            if ci == 0.0:
+            if ci == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit, not a tolerance decision
                 continue
             factor = scale * ci
             for j, rj in row.items():
-                if rj == 0.0:
+                if rj == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit, not a tolerance decision
                     continue
                 self.add(i, j, factor * rj)
 

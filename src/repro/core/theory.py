@@ -22,7 +22,7 @@ These are the proof obligations, checked numerically; the tests in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -124,7 +124,7 @@ def verify_contraction(
         v = rng.normal(0.0, 5.0, size=num_states)
         u = rng.normal(0.0, 5.0, size=num_states)
         gap = float(np.max(np.abs(v - u)))
-        if gap == 0.0:
+        if gap <= 0.0:
             continue
         mv = bellman_operator(v, costs, successors, gamma)
         mu = bellman_operator(u, costs, successors, gamma)

@@ -30,7 +30,7 @@ def sparkline(values: Sequence[float], width: int = 0) -> str:
         data = [data[round(i * step)] for i in range(width)]
     low, high = min(data), max(data)
     span = high - low
-    if span == 0.0:
+    if span <= 0.0:
         return SPARK_LEVELS[0] * len(data)
     chars = []
     for value in data:

@@ -107,7 +107,7 @@ def cullen_frey_coordinates(samples: Sequence[float]) -> Tuple[float, float]:
         raise TraceError("need at least 4 samples for Cullen-Frey coordinates")
     centered = data - data.mean()
     variance = float(np.mean(centered**2))
-    if variance == 0.0:
+    if variance <= 0.0:
         return (0.0, 0.0)
     skewness = float(np.mean(centered**3)) / variance**1.5
     kurtosis = float(np.mean(centered**4)) / variance**2

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, List
 
 import numpy as np
 

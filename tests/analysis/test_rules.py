@@ -1,0 +1,223 @@
+"""Per-rule positive/negative fixtures for the MEGH rule set.
+
+Fixture sources intentionally violate the rules; this module itself is
+never linted by meghlint (the default lint paths are src/ and
+benchmarks/), so the snippets live in plain strings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import LintConfig, lint_source
+from repro.analysis.diagnostics import Severity
+from repro.analysis.rules import RULE_REGISTRY, all_rule_ids, build_rules
+
+
+def findings(source: str, rule_id: str):
+    result = lint_source(source, config=LintConfig(select=[rule_id]))
+    return result.diagnostics
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert all_rule_ids() == [
+            "MEGH001",
+            "MEGH002",
+            "MEGH003",
+            "MEGH004",
+            "MEGH005",
+            "MEGH006",
+        ]
+
+    def test_every_rule_has_summary_and_severity(self):
+        for rule_class in RULE_REGISTRY.values():
+            assert rule_class.summary
+            assert isinstance(rule_class.severity, Severity)
+
+    def test_build_rules_rejects_unknown_ids(self):
+        with pytest.raises(ValueError, match="MEGH999"):
+            build_rules(select=["MEGH999"])
+
+
+class TestMegh001UnseededRandomness:
+    def test_flags_numpy_global_rng(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        hits = findings(source, "MEGH001")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "process-global RNG" in hits[0].message
+
+    def test_flags_stdlib_random_calls(self):
+        source = "import random\nrandom.seed(3)\ny = random.random()\n"
+        assert len(findings(source, "MEGH001")) == 2
+
+    def test_flags_unseeded_default_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        hits = findings(source, "MEGH001")
+        assert len(hits) == 1
+        assert "without a seed" in hits[0].message
+
+    def test_flags_from_random_import(self):
+        source = "from random import shuffle\n"
+        assert len(findings(source, "MEGH001")) == 1
+
+    def test_allows_seeded_generator(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "x = rng.random()\n"
+            "y = rng.choice([1, 2])\n"
+        )
+        assert findings(source, "MEGH001") == []
+
+    def test_allows_methods_on_injected_generator(self):
+        source = (
+            "class A:\n"
+            "    def roll(self):\n"
+            "        return self._rng.random()\n"
+        )
+        assert findings(source, "MEGH001") == []
+
+
+class TestMegh002WallClock:
+    def test_flags_time_time(self):
+        source = "import time\nstart = time.time()\n"
+        hits = findings(source, "MEGH002")
+        assert len(hits) == 1
+        assert "wall clock" in hits[0].message
+
+    def test_flags_datetime_now(self):
+        source = (
+            "import datetime\n"
+            "stamp = datetime.datetime.now()\n"
+            "day = datetime.date.today()\n"
+        )
+        assert len(findings(source, "MEGH002")) == 2
+
+    def test_allows_perf_counter(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert findings(source, "MEGH002") == []
+
+
+class TestMegh003FloatEquality:
+    def test_flags_equality_with_float_literal(self):
+        source = "def f(x):\n    return x == 0.0\n"
+        hits = findings(source, "MEGH003")
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.WARNING
+
+    def test_flags_inequality_and_signed_literals(self):
+        source = "def f(x):\n    return x != -1.0\n"
+        assert len(findings(source, "MEGH003")) == 1
+
+    def test_allows_integer_comparison(self):
+        source = "def f(n):\n    return n == 0\n"
+        assert findings(source, "MEGH003") == []
+
+    def test_allows_ordering_comparisons(self):
+        source = "def f(x):\n    return x <= 0.0 or x > 1.0\n"
+        assert findings(source, "MEGH003") == []
+
+
+class TestMegh004MutableDefaults:
+    def test_flags_list_dict_set_defaults(self):
+        source = "def f(a=[], b={}, c=set()):\n    return a, b, c\n"
+        assert len(findings(source, "MEGH004")) == 3
+
+    def test_flags_keyword_only_defaults(self):
+        source = "def f(*, cache=dict()):\n    return cache\n"
+        assert len(findings(source, "MEGH004")) == 1
+
+    def test_allows_none_and_tuples(self):
+        source = "def f(a=None, b=(), c=0):\n    return a, b, c\n"
+        assert findings(source, "MEGH004") == []
+
+
+class TestMegh005SeedPlumbing:
+    def test_flags_scheduler_without_seed_parameter(self):
+        source = (
+            "import numpy as np\n"
+            "class GreedyScheduler:\n"
+            "    def __init__(self, beta):\n"
+            "        self._rng = np.random.default_rng(12)\n"
+        )
+        hits = findings(source, "MEGH005")
+        assert len(hits) == 1
+        assert "GreedyScheduler" in hits[0].message
+
+    def test_allows_seed_parameter(self):
+        source = (
+            "import numpy as np\n"
+            "class GreedyScheduler:\n"
+            "    def __init__(self, seed=0):\n"
+            "        self._rng = np.random.default_rng(seed)\n"
+        )
+        assert findings(source, "MEGH005") == []
+
+    def test_allows_rng_built_in_seeded_classmethod(self):
+        source = (
+            "import numpy as np\n"
+            "class FaultInjector:\n"
+            "    def __init__(self, events):\n"
+            "        self.events = events\n"
+            "    @classmethod\n"
+            "    def sample(cls, seed=0):\n"
+            "        rng = np.random.default_rng(seed)\n"
+            "        return cls([rng.random()])\n"
+        )
+        assert findings(source, "MEGH005") == []
+
+    def test_private_classes_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "class _Probe:\n"
+            "    def __init__(self):\n"
+            "        self._rng = np.random.default_rng(7)\n"
+        )
+        assert findings(source, "MEGH005") == []
+
+
+class TestMegh006SwallowedExceptions:
+    def test_flags_bare_except(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except:\n"
+            "        return 2\n"
+        )
+        hits = findings(source, "MEGH006")
+        assert len(hits) == 1
+        assert "bare" in hits[0].message
+
+    def test_flags_broad_swallow(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        run()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert len(findings(source, "MEGH006")) == 1
+
+    def test_allows_specific_handler_with_action(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        run()\n"
+            "    except ValueError:\n"
+            "        raise RuntimeError('bad input')\n"
+        )
+        assert findings(source, "MEGH006") == []
+
+    def test_allows_broad_handler_that_acts(self):
+        source = (
+            "def f(log):\n"
+            "    try:\n"
+            "        run()\n"
+            "    except Exception as error:\n"
+            "        log.warning('run failed: %s', error)\n"
+            "        raise\n"
+        )
+        assert findings(source, "MEGH006") == []

@@ -1,0 +1,26 @@
+"""The repository must pass its own lint — the acceptance gate.
+
+Every later PR that introduces an unseeded RNG, a wall-clock read, or a
+float equality into ``src/`` or ``benchmarks/`` fails here, at the step
+that introduced it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.reporting import render_text
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_is_lint_clean():
+    result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    assert result.files_checked > 50
+    assert result.clean, "\n" + render_text(result)
+
+
+def test_examples_are_lint_clean():
+    result = lint_paths([REPO_ROOT / "examples"])
+    assert result.clean, "\n" + render_text(result)

@@ -1,7 +1,6 @@
 """Tests for dynamic VM provisioning (deprovision on idle, re-place on demand)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.noop import NoMigrationScheduler
 from repro.cloudsim.datacenter import Datacenter

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Runtime numerical contracts (Sherman–Morrison drift audits, finiteness
+# checks) and per-step datacenter invariant validation are part of the
+# default *test* configuration; benchmarks leave them off so timings stay
+# clean.  ``setdefault`` keeps an explicit REPRO_CONTRACTS=0 honoured.
+os.environ.setdefault("REPRO_CONTRACTS", "1")
 
 from repro.cloudsim.datacenter import Datacenter
 from repro.cloudsim.pm import PhysicalMachine

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.harness import experiments
 from repro.harness.experiments import (
     ExperimentPreset,
     PRESETS,

@@ -1,0 +1,61 @@
+"""Bit-determinism under contracts — the learn-as-you-go acceptance gate.
+
+Two runs with the same seed must produce *identical* (not merely close)
+metrics even with the contract layer and per-step validation enabled:
+the contracts are pure observers and must never perturb the RNG streams
+or the learned state.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import MeghScheduler
+from repro.core.contracts import ContractConfig
+from repro.harness.builders import build_planetlab_simulation
+from repro.harness.runner import run_scheduler
+
+
+def _run_once(seed: int):
+    simulation = build_planetlab_simulation(
+        num_pms=6, num_vms=8, num_steps=40, seed=seed
+    )
+    scheduler = MeghScheduler.from_simulation(
+        simulation,
+        seed=seed,
+        contracts=ContractConfig(audit_every=25),
+    )
+    result = run_scheduler(simulation, scheduler)
+    return result, scheduler
+
+
+def test_same_seed_runs_are_bit_identical_with_contracts_on():
+    first, scheduler_a = _run_once(seed=42)
+    second, scheduler_b = _run_once(seed=42)
+    # Exact float equality on every per-step series is intentional here:
+    # determinism means byte-identical trajectories, not "close".
+    assert (
+        first.metrics.per_step_cost_series()
+        == second.metrics.per_step_cost_series()
+    )
+    assert (
+        first.metrics.active_host_series()
+        == second.metrics.active_host_series()
+    )
+    assert first.total_migrations == second.total_migrations
+    assert first.sla.overall_sla_violation() == second.sla.overall_sla_violation()
+    assert (
+        scheduler_a.lstd.q_table_nonzeros
+        == scheduler_b.lstd.q_table_nonzeros
+    )
+    # The contract layer actually ran.
+    assert scheduler_a.auditor is not None
+    assert scheduler_a.auditor.audits_run > 0
+    assert scheduler_a.auditor.violations == []
+
+
+def test_different_seeds_diverge():
+    first, _ = _run_once(seed=1)
+    second, _ = _run_once(seed=2)
+    assert (
+        first.metrics.per_step_cost_series()
+        != second.metrics.per_step_cost_series()
+    )

@@ -1,7 +1,6 @@
 """Property-based tests: simulator invariants under random failures."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.random_policy import RandomScheduler

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cloudsim.datacenter import Datacenter
 from repro.cloudsim.sla import SlaAccountant
-from repro.config import CostConfig, SimulationConfig
+from repro.config import CostConfig
 from repro.costs.dynamic import (
     TieredVmPricingSlaCostModel,
     TimeOfUseEnergyCostModel,

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import TraceError
 from repro.workloads.google_trace import (
     EVENT_SCHEDULE,
-    GoogleTraceInterval,
     load_google_task_events,
     parse_task_events,
 )
