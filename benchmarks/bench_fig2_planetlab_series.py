@@ -15,9 +15,11 @@ from repro.harness.experiments import PRESETS, run_megh_vs_thr
 from repro.harness.figures import figure_series, render_figure
 
 
-def test_fig2_planetlab_series(benchmark, emit):
+def test_fig2_planetlab_series(benchmark, emit, engine):
     preset = PRESETS["fig2"]
-    results = run_once(benchmark, lambda: run_megh_vs_thr(preset))
+    results = run_once(
+        benchmark, lambda: run_megh_vs_thr(preset, engine=engine)
+    )
     series = [figure_series(result) for result in results.values()]
     emit(render_figure(series, title="Figure 2 (bench scale): PlanetLab"))
 

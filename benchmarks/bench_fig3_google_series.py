@@ -13,9 +13,11 @@ from repro.harness.experiments import PRESETS, run_megh_vs_thr
 from repro.harness.figures import figure_series, render_figure
 
 
-def test_fig3_google_series(benchmark, emit):
+def test_fig3_google_series(benchmark, emit, engine):
     preset = PRESETS["fig3"]
-    results = run_once(benchmark, lambda: run_megh_vs_thr(preset))
+    results = run_once(
+        benchmark, lambda: run_megh_vs_thr(preset, engine=engine)
+    )
     series = [figure_series(result) for result in results.values()]
     emit(render_figure(series, title="Figure 3 (bench scale): Google"))
 

@@ -13,9 +13,11 @@ from repro.harness.experiments import PRESETS, run_megh_vs_madvm
 from repro.harness.figures import figure_series, render_figure
 
 
-def test_fig4_megh_vs_madvm_planetlab(benchmark, emit):
+def test_fig4_megh_vs_madvm_planetlab(benchmark, emit, engine):
     preset = PRESETS["fig4"]
-    results = run_once(benchmark, lambda: run_megh_vs_madvm(preset))
+    results = run_once(
+        benchmark, lambda: run_megh_vs_madvm(preset, engine=engine)
+    )
     series = [figure_series(result) for result in results.values()]
     emit(
         render_figure(

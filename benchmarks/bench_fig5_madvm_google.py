@@ -12,9 +12,11 @@ from repro.harness.experiments import PRESETS, run_megh_vs_madvm
 from repro.harness.figures import figure_series, render_figure
 
 
-def test_fig5_megh_vs_madvm_google(benchmark, emit):
+def test_fig5_megh_vs_madvm_google(benchmark, emit, engine):
     preset = PRESETS["fig5"]
-    results = run_once(benchmark, lambda: run_megh_vs_madvm(preset))
+    results = run_once(
+        benchmark, lambda: run_megh_vs_madvm(preset, engine=engine)
+    )
     series = [figure_series(result) for result in results.values()]
     emit(
         render_figure(

@@ -20,10 +20,10 @@ from repro.harness.tables import render_comparison
 MMT_NAMES = ("THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT")
 
 
-def test_table2_planetlab(benchmark, emit):
+def test_table2_planetlab(benchmark, emit, engine):
     preset = PRESETS["table2"]
     results = run_once(
-        benchmark, lambda: run_table_experiment(preset)
+        benchmark, lambda: run_table_experiment(preset, engine=engine)
     )
     emit(
         render_comparison(

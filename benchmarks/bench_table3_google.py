@@ -22,9 +22,11 @@ from repro.harness.tables import render_comparison
 MMT_NAMES = ("THR-MMT", "IQR-MMT", "MAD-MMT", "LR-MMT", "LRR-MMT")
 
 
-def test_table3_google(benchmark, emit):
+def test_table3_google(benchmark, emit, engine):
     preset = PRESETS["table3"]
-    results = run_once(benchmark, lambda: run_table_experiment(preset))
+    results = run_once(
+        benchmark, lambda: run_table_experiment(preset, engine=engine)
+    )
     emit(
         render_comparison(
             results,

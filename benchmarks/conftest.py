@@ -23,6 +23,26 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
+@pytest.fixture(scope="session")
+def engine():
+    """Session-wide :class:`repro.engine.ExecutionEngine` for the benches.
+
+    Defaults to inline serial execution (identical to the legacy path);
+    export ``REPRO_BENCH_JOBS=N`` to fan simulations out over N worker
+    processes and ``REPRO_BENCH_CACHE_DIR=DIR`` to replay unchanged
+    experiments from the content-addressed cache.
+    """
+    from repro.engine import ExecutionEngine
+
+    instance = ExecutionEngine(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
+        journal_path=os.environ.get("REPRO_BENCH_JOURNAL") or None,
+    )
+    yield instance
+    instance.close()
+
+
 @pytest.fixture
 def emit(capsys):
     """Print through pytest's capture so ``-s`` shows the tables."""

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Engine smoke test: parallel == serial, and a warm cache runs nothing.
+
+Runs a seeds × schedulers matrix twice through the execution engine —
+once inline (``jobs=1``) and once on worker processes — and asserts the
+aggregates are identical for every simulated metric.  Then re-runs the
+parallel matrix against the now-warm cache and asserts zero simulations
+execute.  CI runs this as the ``engine-smoke`` job; it exits non-zero on
+any mismatch.
+
+Run:
+    python examples/engine_smoke.py --seeds 4 --jobs 2
+    python examples/engine_smoke.py --cache-dir /tmp/megh-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.engine import ExecutionEngine, events
+from repro.engine.registry import BuilderSpec, SchedulerSpec
+from repro.harness.multiseed import render_aggregates, run_multi_seed
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=4, help="seed count")
+    parser.add_argument("--jobs", type=int, default=2, help="worker count")
+    parser.add_argument("--steps", type=int, default=60, help="steps per run")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: a fresh temp dir)",
+    )
+    return parser.parse_args()
+
+
+def check_identical(serial, parallel) -> None:
+    assert list(serial) == list(parallel), "algorithm sets differ"
+    for name in serial:
+        a, b = serial[name], parallel[name]
+        assert a.total_cost_usd.values == b.total_cost_usd.values, (
+            f"{name}: total cost diverged between jobs=1 and jobs=N"
+        )
+        assert a.total_migrations.values == b.total_migrations.values, (
+            f"{name}: migration counts diverged"
+        )
+        assert a.mean_active_hosts.values == b.mean_active_hosts.values, (
+            f"{name}: active-host counts diverged"
+        )
+        assert a.wins == b.wins, f"{name}: win counts diverged"
+
+
+def main() -> int:
+    args = parse_args()
+    seeds = list(range(args.seeds))
+    builder = BuilderSpec.create(
+        "planetlab", num_pms=10, num_vms=13, num_steps=args.steps
+    )
+    factories = {
+        "Megh": SchedulerSpec.create("megh", seed=0),
+        "THR-MMT": SchedulerSpec.create(
+            "mmt", detector="THR", utilization_threshold=0.7
+        ),
+    }
+    jobs = len(seeds) * len(factories)
+
+    started = time.perf_counter()
+    serial = run_multi_seed(builder, factories, seeds)
+    serial_seconds = time.perf_counter() - started
+    print(f"serial: {jobs} jobs in {serial_seconds:.1f}s")
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="megh-engine-")
+    engine = ExecutionEngine(jobs=args.jobs, cache_dir=cache_dir)
+    started = time.perf_counter()
+    parallel = run_multi_seed(builder, factories, seeds, engine=engine)
+    parallel_seconds = time.perf_counter() - started
+    print(f"jobs={args.jobs}: {engine.summary()} in {parallel_seconds:.1f}s")
+
+    check_identical(serial, parallel)
+    print("aggregates identical across jobs=1 and parallel execution")
+    print()
+    print(render_aggregates(parallel, title="engine smoke matrix"))
+
+    warm = ExecutionEngine(jobs=args.jobs, cache_dir=cache_dir)
+    rerun = run_multi_seed(builder, factories, seeds, engine=warm)
+    executed = warm.journal.count(events.STARTED)
+    hits = warm.journal.count(events.CACHE_HIT)
+    print(f"\nwarm cache: {warm.summary()}")
+    assert executed == 0, f"warm cache still executed {executed} simulations"
+    assert hits == jobs, f"expected {jobs} cache hits, saw {hits}"
+    check_identical(parallel, rerun)
+    print("warm-cache re-run executed zero simulations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ Each rule targets a way a change could silently break the reproduction:
 * **MEGH004** — mutable default arguments alias state across schedulers;
 * **MEGH005** — a scheduler/workload/policy constructor that builds an
   RNG must accept ``seed`` or ``rng`` so the harness can control it;
-* **MEGH006** — bare/swallowed exceptions hide harness failures.
+* **MEGH006** — bare/swallowed exceptions hide harness failures;
+* **MEGH007** — ad-hoc multiprocessing bypasses the execution engine's
+  determinism, caching, and fault-isolation guarantees.
 
 Rules are registered in :data:`RULE_REGISTRY` and run by
 :mod:`repro.analysis.engine`.  Suppress a finding on its line with
@@ -510,6 +512,75 @@ class SwallowedExceptionRule(Rule):
                     "broad exception handler silently discards the "
                     "error; log, re-raise, or narrow the type",
                 )
+
+
+# ----------------------------------------------------------------------
+# MEGH007 — parallelism outside the execution engine
+# ----------------------------------------------------------------------
+
+_PARALLELISM_MODULES = {"multiprocessing", "concurrent.futures"}
+
+
+def _is_engine_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "repro/engine/" in normalized or normalized.endswith(
+        "repro/engine"
+    )
+
+
+def _banned_parallel_import(module: Optional[str]) -> Optional[str]:
+    if module is None:
+        return None
+    for banned in _PARALLELISM_MODULES:
+        if module == banned or module.startswith(banned + "."):
+            return banned
+    return None
+
+
+@register
+class AdHocParallelismRule(Rule):
+    """MEGH007: process pools outside ``repro.engine`` skip its guarantees."""
+
+    rule_id = "MEGH007"
+    severity = Severity.ERROR
+    summary = (
+        "multiprocessing/concurrent.futures belong inside repro.engine; "
+        "everything else should submit jobs to the ExecutionEngine"
+    )
+
+    _MESSAGE = (
+        "direct use of {module!r} bypasses the execution engine's "
+        "deterministic ordering, result cache, and crash isolation; "
+        "route parallel work through repro.engine.ExecutionEngine"
+    )
+
+    def check(self, context: RuleContext) -> Iterator[Diagnostic]:
+        if _is_engine_path(context.path):
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    banned = _banned_parallel_import(alias.name)
+                    if banned:
+                        yield self.diagnostic(
+                            context,
+                            node,
+                            self._MESSAGE.format(module=banned),
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                banned = _banned_parallel_import(node.module)
+                if banned:
+                    yield self.diagnostic(
+                        context, node, self._MESSAGE.format(module=banned)
+                    )
+                elif node.module == "concurrent" and any(
+                    alias.name == "futures" for alias in node.names
+                ):
+                    yield self.diagnostic(
+                        context,
+                        node,
+                        self._MESSAGE.format(module="concurrent.futures"),
+                    )
 
 
 def build_rules(

@@ -69,36 +69,58 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare: append Section-6.3-style comparative claims",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run simulations on N parallel worker processes via the "
+        "execution engine (compare/table/figure experiments)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory; re-runs replay "
+        "unchanged simulations instead of recomputing them",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write the engine's JSONL event journal to PATH",
+    )
     return parser
 
 
-def _run_compare(args) -> str:
-    from repro.harness.builders import (
-        build_google_simulation,
-        build_planetlab_simulation,
+def _make_engine(args):
+    """Build an ExecutionEngine when the flags ask for one, else None."""
+    if args.jobs <= 1 and not args.cache_dir and not args.journal:
+        return None
+    from repro.engine import ExecutionEngine
+
+    return ExecutionEngine(
+        jobs=max(1, args.jobs),
+        cache_dir=args.cache_dir,
+        journal_path=args.journal,
     )
+
+
+def _run_compare(args, engine=None) -> str:
+    from repro.engine.registry import BuilderSpec, spec_paper_factories
     from repro.harness.report import comparison_report, save_report
-    from repro.harness.runner import (
-        madvm_factory,
-        megh_factory,
-        mmt_factories,
-        run_comparison,
-    )
+    from repro.harness.runner import run_comparison
 
     seed = args.seed or 0
     steps = args.steps or 600
-    builder = (
-        build_planetlab_simulation
-        if args.workload == "planetlab"
-        else build_google_simulation
+    builder = BuilderSpec.create(
+        args.workload, num_pms=args.pms, num_vms=args.vms, num_steps=steps
     )
-    simulation = builder(
-        num_pms=args.pms, num_vms=args.vms, num_steps=steps, seed=seed
-    )
-    factories = dict(mmt_factories())
-    factories["Megh"] = megh_factory(seed=seed)
-    factories["MadVM"] = madvm_factory(seed=seed)
-    results = run_comparison(simulation, factories)
+    factories = spec_paper_factories(include_madvm=True, seed=seed)
+    if engine is not None:
+        results = engine.run_comparison(builder, factories, seed=seed)
+    else:
+        results = run_comparison(builder(seed), factories)
     title = (
         f"Scheduler comparison — {args.workload}, "
         f"{args.pms} PMs / {args.vms} VMs / {steps} steps, seed {seed}"
@@ -116,13 +138,18 @@ def _run_compare(args) -> str:
     return comparison_report(results, title=title)
 
 
-def _run_table(experiment: str, steps: Optional[int], seed: Optional[int]) -> str:
+def _run_table(
+    experiment: str,
+    steps: Optional[int],
+    seed: Optional[int],
+    engine=None,
+) -> str:
     preset = experiments.PRESETS[experiment]
     if steps is not None:
         preset = experiments.ExperimentPreset(
             **{**preset.__dict__, "num_steps": steps}
         )
-    results = experiments.run_table_experiment(preset, seed=seed)
+    results = experiments.run_table_experiment(preset, seed=seed, engine=engine)
     title = (
         f"{experiment}: {preset.description} "
         f"[bench scale {preset.num_pms} PMs / {preset.num_vms} VMs / "
@@ -132,7 +159,10 @@ def _run_table(experiment: str, steps: Optional[int], seed: Optional[int]) -> st
 
 
 def _run_figure_pair(
-    experiment: str, steps: Optional[int], seed: Optional[int]
+    experiment: str,
+    steps: Optional[int],
+    seed: Optional[int],
+    engine=None,
 ) -> str:
     preset = experiments.PRESETS[experiment]
     if steps is not None:
@@ -140,9 +170,9 @@ def _run_figure_pair(
             **{**preset.__dict__, "num_steps": steps}
         )
     if experiment in ("fig2", "fig3"):
-        results = experiments.run_megh_vs_thr(preset, seed=seed)
+        results = experiments.run_megh_vs_thr(preset, seed=seed, engine=engine)
     else:
-        results = experiments.run_megh_vs_madvm(preset, seed=seed)
+        results = experiments.run_megh_vs_madvm(preset, seed=seed, engine=engine)
     series = [figure_series(result) for result in results.values()]
     return render_figure(series, title=f"{experiment}: {preset.description}")
 
@@ -220,13 +250,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
     except BrokenPipeError:
         return 0  # output piped into a closed reader (e.g. `| head`)
+    engine = _make_engine(args)
     try:
         if experiment == "compare":
-            print(_run_compare(args))
+            print(_run_compare(args, engine))
         elif experiment in ("table2", "table3"):
-            print(_run_table(experiment, args.steps, args.seed))
+            print(_run_table(experiment, args.steps, args.seed, engine))
         elif experiment in ("fig2", "fig3", "fig4", "fig5"):
-            print(_run_figure_pair(experiment, args.steps, args.seed))
+            print(_run_figure_pair(experiment, args.steps, args.seed, engine))
         elif experiment == "fig6":
             print(_run_fig6(args.steps, args.seed))
         elif experiment == "fig7":
@@ -240,6 +271,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0  # output piped into a closed reader (e.g. `| head`)
     except KeyboardInterrupt:
         return 130
+    finally:
+        if engine is not None:
+            print(engine.summary(), file=sys.stderr)
+            engine.close()
     return 0
 
 

@@ -60,6 +60,24 @@ class SimulationResult:
     def mean_scheduler_ms(self) -> float:
         return self.metrics.mean_scheduler_milliseconds
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict capturing the full run (exact round trip).
+
+        Delegates to :mod:`repro.engine.serialize`; ``from_dict`` inverts
+        it bit-for-bit, including every per-step metric and SLA window
+        entry.  Derived aggregates are recomputed, never stored.
+        """
+        from repro.engine.serialize import result_to_dict
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result previously flattened with :meth:`to_dict`."""
+        from repro.engine.serialize import result_from_dict
+
+        return result_from_dict(data)
+
     def summary(self) -> str:
         """Table-2-style one-block summary of the run."""
         lines = [

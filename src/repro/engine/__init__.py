@@ -1,0 +1,77 @@
+"""Parallel, cache-aware experiment execution (see ``docs/engine.md``).
+
+The engine turns (workload-builder, scheduler-factory, seed, steps)
+tuples into declarative, content-hashed :class:`JobSpec`s and executes
+them inline or on a ``spawn`` worker pool with per-job timeout, bounded
+retry, and crash isolation.  Successful results are stored in a
+content-addressed on-disk cache; every job's lifecycle is journaled as
+structured events.  The core guarantee: ``jobs=1`` and ``jobs=N``
+produce identical simulated metrics, because every job rebuilds its
+entire world from its seed.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.events import EngineEvent, EventJournal, read_journal
+from repro.engine.jobs import CODE_VERSION, JobSpec, content_hash, engine_salt
+from repro.engine.pool import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ExecutionEngine,
+    JobResult,
+    require_ok,
+    run_jobs,
+)
+from repro.engine.registry import (
+    BuilderSpec,
+    SchedulerSpec,
+    execute_spec,
+    job_spec,
+    register_builder,
+    register_scheduler,
+    resolve_builder,
+    resolve_scheduler,
+    spec_mmt_factories,
+    spec_paper_factories,
+)
+from repro.engine.serialize import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+
+__all__ = [
+    "BuilderSpec",
+    "CacheStats",
+    "CODE_VERSION",
+    "EngineEvent",
+    "EventJournal",
+    "ExecutionEngine",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "SchedulerSpec",
+    "STATUS_CRASHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "content_hash",
+    "engine_salt",
+    "execute_spec",
+    "job_spec",
+    "read_journal",
+    "register_builder",
+    "register_scheduler",
+    "require_ok",
+    "resolve_builder",
+    "resolve_scheduler",
+    "result_from_dict",
+    "result_from_json",
+    "result_to_dict",
+    "result_to_json",
+    "run_jobs",
+    "spec_mmt_factories",
+    "spec_paper_factories",
+]

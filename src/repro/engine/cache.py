@@ -1,0 +1,130 @@
+"""Content-addressed on-disk store of serialized simulation results.
+
+Keys are the :func:`repro.engine.jobs.content_hash` of a job spec, which
+already folds in the code-version salt — so a cache directory can be
+shared across branches and runs, and a deliberate salt bump (not a cache
+wipe) is what invalidates stale semantics.  Entries are JSON files
+written atomically (temp file + ``os.replace``), so a killed run never
+leaves a half-written entry behind; a corrupt or unreadable entry is
+treated as a miss and removed.
+
+The cache never stores failed jobs: only results that a worker (or the
+serial path) produced successfully are persisted.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.cloudsim.simulation import SimulationResult
+from repro.engine.serialize import result_from_json, result_to_json
+from repro.errors import SerializationError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting for one cache instance's lifetime."""
+
+    hits: int
+    misses: int
+    stores: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses, "
+            f"{self.stores} stored"
+        )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult` payloads.
+
+    Args:
+        directory: cache root; created (with parents) if missing.
+            Entries are sharded by the first two key characters to keep
+            directory listings short at scale.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (truncated write from a killed process, schema
+        drift) is deleted and counted as a miss rather than poisoning
+        the run.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self._misses += 1
+            return None
+        try:
+            result = result_from_json(text)
+        except SerializationError:
+            self._misses += 1
+            self._evict(path)
+            return None
+        self._hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result_to_json(result)
+        temporary = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        temporary.write_text(payload, encoding="utf-8")
+        os.replace(temporary, path)
+        self._stores += 1
+        return path
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists (no validity check, no counters)."""
+        return self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.directory.glob("*/*.json"):
+            self._evict(entry)
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone or unwritable; the miss is recorded anyway
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/store counters."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, stores=self._stores
+        )

@@ -1,0 +1,128 @@
+"""Structured progress events and the JSONL journal.
+
+Every job the engine touches leaves a trail: ``queued`` when admitted,
+``cache-hit`` when replayed from the store, ``started``/``finished`` for
+executions, ``failed``/``timeout``/``retried`` for the fault paths.
+Events carry a monotonically increasing sequence number and measured
+durations (``time.perf_counter`` deltas) — never wall-clock timestamps,
+which would couple journal content to when the run happened (the same
+discipline meghlint's MEGH002 enforces on simulation code).
+
+The journal accumulates in memory and, when given a path, appends each
+event as one JSON line immediately, so a crashed run still leaves a
+readable trail up to the crash.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+# Event kinds, in lifecycle order.
+QUEUED = "queued"
+CACHE_HIT = "cache-hit"
+STARTED = "started"
+FINISHED = "finished"
+FAILED = "failed"
+TIMEOUT = "timeout"
+RETRIED = "retried"
+
+ALL_KINDS = (QUEUED, CACHE_HIT, STARTED, FINISHED, FAILED, TIMEOUT, RETRIED)
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One engine occurrence: what happened, to which job, on which try.
+
+    Attributes:
+        seq: monotonically increasing per-journal sequence number.
+        kind: one of :data:`ALL_KINDS`.
+        job: the job's content hash (cache key).
+        tag: the job's display label.
+        attempt: 1-based execution attempt (0 for pre-execution events).
+        duration_seconds: measured execution duration, where meaningful.
+        detail: human-readable context (error text, retry reason).
+    """
+
+    seq: int
+    kind: str
+    job: str
+    tag: str = ""
+    attempt: int = 0
+    duration_seconds: Optional[float] = None
+    detail: str = ""
+
+    def to_json(self) -> str:
+        """One-line JSON rendering for the journal file."""
+        return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)
+
+
+class EventJournal:
+    """Ordered record of engine events, optionally mirrored to a JSONL file."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: List[EngineEvent] = []
+        self._stream: Optional[IO[str]] = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w", encoding="utf-8")
+
+    def emit(
+        self,
+        kind: str,
+        job: str,
+        tag: str = "",
+        attempt: int = 0,
+        duration_seconds: Optional[float] = None,
+        detail: str = "",
+    ) -> EngineEvent:
+        """Record one event (and append it to the file, if any)."""
+        event = EngineEvent(
+            seq=len(self.events),
+            kind=kind,
+            job=job,
+            tag=tag,
+            attempt=attempt,
+            duration_seconds=duration_seconds,
+            detail=detail,
+        )
+        self.events.append(event)
+        if self._stream is not None:
+            self._stream.write(event.to_json() + "\n")
+            self._stream.flush()
+        return event
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (kinds with zero occurrences included)."""
+        totals = {kind: 0 for kind in ALL_KINDS}
+        for event in self.events:
+            totals[event.kind] = totals.get(event.kind, 0) + 1
+        return totals
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def close(self) -> None:
+        """Close the backing file (in-memory events remain readable)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, Path]) -> List[EngineEvent]:
+    """Load a JSONL journal back into :class:`EngineEvent` objects."""
+    events: List[EngineEvent] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            events.append(EngineEvent(**json.loads(line)))
+    return events

@@ -1,0 +1,197 @@
+"""Declarative job specifications with stable content-addressed identity.
+
+The execution engine never ships callables across process boundaries.  A
+unit of work is a frozen :class:`JobSpec` that *names* a simulation
+builder and a scheduler constructor from the engine registry (see
+:mod:`repro.engine.registry`), together with their parameters, the
+simulation seed, and the step horizon.  Specs are:
+
+* **picklable** — plain frozen dataclasses of primitives, safe to send
+  to ``spawn`` workers;
+* **canonical** — parameters are frozen into a sorted, hashable form, so
+  two specs describing the same experiment compare (and hash) equal no
+  matter how their parameter dicts were ordered;
+* **content-addressed** — :func:`content_hash` derives a stable SHA-256
+  key over the spec and a code-version salt, which is the cache key for
+  :class:`repro.engine.cache.ResultCache`.
+
+The salt (:data:`CODE_VERSION`, overridable via the
+``REPRO_ENGINE_SALT`` environment variable) is bumped deliberately when
+simulation semantics change; unrelated code changes keep cached results
+valid, which is the point of caching at experiment granularity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Cache-key salt naming the simulation semantics version.  Bump this when
+#: a change alters what a (builder, scheduler, seed, steps) tuple computes
+#: — cached results produced under another salt are then never replayed.
+CODE_VERSION = "megh-engine-1"
+
+#: Environment override for the salt (useful to segregate cache namespaces
+#: in CI or to force a cold cache without deleting files).
+SALT_ENV_VAR = "REPRO_ENGINE_SALT"
+
+#: Tags marking frozen containers so freezing is unambiguous and
+#: invertible: a mapping and a sequence of pairs never collide.
+_DICT_TAG = "__dict__"
+_LIST_TAG = "__list__"
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def freeze(value: Any) -> Any:
+    """Convert ``value`` into a canonical, hashable, picklable form.
+
+    Mappings become tagged tuples of sorted ``(key, frozen_value)``
+    pairs, sequences become tagged tuples, dataclass instances are
+    frozen via their field dict, and numpy scalars collapse to Python
+    scalars.  :func:`thaw` inverts the transformation.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return freeze(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        items = tuple(
+            (str(key), freeze(item)) for key, item in sorted(value.items())
+        )
+        return (_DICT_TAG, items)
+    if isinstance(value, (list, tuple)):
+        return (_LIST_TAG, tuple(freeze(item) for item in value))
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        scalar = item()
+        if isinstance(scalar, _SCALAR_TYPES):
+            return scalar
+    raise ConfigurationError(
+        f"job parameters must be JSON-like scalars or containers, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def thaw(value: Any) -> Any:
+    """Invert :func:`freeze`: tagged tuples back to dicts and lists."""
+    if isinstance(value, tuple):
+        if len(value) == 2 and value[0] == _DICT_TAG:
+            return {key: thaw(item) for key, item in value[1]}
+        if len(value) == 2 and value[0] == _LIST_TAG:
+            return [thaw(item) for item in value[1]]
+        return tuple(thaw(item) for item in value)
+    return value
+
+
+def freeze_params(params: Optional[Mapping[str, Any]]) -> Tuple:
+    """Freeze a keyword-parameter mapping into sorted ``(name, value)`` pairs."""
+    if not params:
+        return ()
+    return tuple(
+        (str(name), freeze(value)) for name, value in sorted(params.items())
+    )
+
+
+def thaw_params(frozen: Tuple) -> Dict[str, Any]:
+    """Rebuild the keyword-argument dict a registry callable expects."""
+    return {name: thaw(value) for name, value in frozen}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation run, fully described by names and parameters.
+
+    Attributes:
+        builder: registry name (or ``module:attr`` dotted path) of the
+            simulation builder; called as ``builder(seed=seed, **params)``.
+        scheduler: registry name (or dotted path) of the scheduler
+            constructor; called as ``scheduler(simulation, **params)``.
+        seed: simulation seed — the workload, fleet, and initial
+            placement all derive from it, which is what makes a job
+            self-contained and order-independent.
+        num_steps: step horizon passed to :meth:`Simulation.run`
+            (``None`` runs the simulation config's horizon).
+        builder_params: frozen keyword parameters for the builder.
+        scheduler_params: frozen keyword parameters for the scheduler
+            (including the scheduler's own seed, when it takes one).
+        tag: display label for journals and progress output.  Excluded
+            from the content hash: it names the job, not the computation.
+    """
+
+    builder: str
+    scheduler: str
+    seed: int
+    num_steps: Optional[int] = None
+    builder_params: Tuple = ()
+    scheduler_params: Tuple = ()
+    tag: str = ""
+
+    @classmethod
+    def create(
+        cls,
+        builder: str,
+        scheduler: str,
+        seed: int,
+        num_steps: Optional[int] = None,
+        builder_params: Optional[Mapping[str, Any]] = None,
+        scheduler_params: Optional[Mapping[str, Any]] = None,
+        tag: str = "",
+    ) -> "JobSpec":
+        """Build a spec, canonicalizing the parameter mappings."""
+        if not builder or not scheduler:
+            raise ConfigurationError(
+                "a job needs both a builder and a scheduler name"
+            )
+        return cls(
+            builder=builder,
+            scheduler=scheduler,
+            seed=int(seed),
+            num_steps=None if num_steps is None else int(num_steps),
+            builder_params=freeze_params(builder_params),
+            scheduler_params=freeze_params(scheduler_params),
+            tag=tag or f"{scheduler}@seed{seed}",
+        )
+
+    def builder_kwargs(self) -> Dict[str, Any]:
+        """Thawed keyword arguments for the builder callable."""
+        return thaw_params(self.builder_params)
+
+    def scheduler_kwargs(self) -> Dict[str, Any]:
+        """Thawed keyword arguments for the scheduler callable."""
+        return thaw_params(self.scheduler_params)
+
+
+def engine_salt() -> str:
+    """The active cache-key salt (env override, else :data:`CODE_VERSION`)."""
+    return os.environ.get(SALT_ENV_VAR) or CODE_VERSION
+
+
+def content_hash(spec: JobSpec) -> str:
+    """Stable SHA-256 key for a spec under the current code-version salt.
+
+    The hash covers every field that determines the computation (builder,
+    scheduler, parameters, seed, horizon) plus the salt; the display
+    ``tag`` is deliberately excluded.
+    """
+    payload = {
+        "salt": engine_salt(),
+        "builder": spec.builder,
+        "builder_params": spec.builder_params,
+        "scheduler": spec.scheduler,
+        "scheduler_params": spec.scheduler_params,
+        "seed": spec.seed,
+        "num_steps": spec.num_steps,
+    }
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=list
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

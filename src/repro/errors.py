@@ -38,3 +38,11 @@ class TraceError(ReproError):
 
 class SchedulerError(ReproError):
     """A scheduler produced an invalid decision."""
+
+
+class EngineError(ReproError):
+    """The execution engine could not complete one or more jobs."""
+
+
+class SerializationError(ReproError):
+    """A result payload could not be serialized or deserialized."""

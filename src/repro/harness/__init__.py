@@ -13,6 +13,8 @@ from repro.harness.figures import FigureSeries, figure_series
 from repro.harness.multiseed import (
     MetricSummary,
     SeedAggregate,
+    aggregate_seed_results,
+    cheapest_algorithm,
     render_aggregates,
     run_multi_seed,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "figure_series",
     "MetricSummary",
     "SeedAggregate",
+    "aggregate_seed_results",
+    "cheapest_algorithm",
     "run_multi_seed",
     "render_aggregates",
     "comparison_report",

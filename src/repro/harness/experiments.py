@@ -124,14 +124,50 @@ PRESETS: Dict[str, ExperimentPreset] = {
 }
 
 
+def preset_builder_spec(preset: ExperimentPreset):
+    """Engine :class:`~repro.engine.registry.BuilderSpec` for a preset.
+
+    The preset's workload name maps directly onto the engine registry's
+    ``planetlab``/``google`` builders, so every preset experiment can be
+    executed (and cached) as declarative jobs.
+    """
+    from repro.engine.registry import BuilderSpec
+
+    return BuilderSpec.create(
+        preset.workload,
+        num_pms=preset.num_pms,
+        num_vms=preset.num_vms,
+        num_steps=preset.num_steps,
+        placement=preset.placement,
+    )
+
+
 def run_table_experiment(
     preset: ExperimentPreset,
     include_madvm: bool = False,
     num_steps: Optional[int] = None,
     seed: Optional[int] = None,
+    engine=None,
 ) -> Dict[str, SimulationResult]:
-    """Run the Table-2/3 line-up on a preset."""
+    """Run the Table-2/3 line-up on a preset.
+
+    ``engine`` (an :class:`repro.engine.ExecutionEngine`) executes the
+    line-up as declarative jobs — parallel across schedulers, cached,
+    and journaled — with results identical to the serial path for all
+    simulated metrics.
+    """
     effective_seed = preset.seed if seed is None else seed
+    if engine is not None:
+        from repro.engine.registry import spec_paper_factories
+
+        return engine.run_comparison(
+            preset_builder_spec(preset),
+            spec_paper_factories(
+                include_madvm=include_madvm, seed=effective_seed
+            ),
+            seed=effective_seed,
+            num_steps=num_steps,
+        )
     simulation = ExperimentPreset(
         **{
             **preset.__dict__,
@@ -146,10 +182,21 @@ def run_table_experiment(
 
 
 def run_megh_vs_thr(
-    preset: ExperimentPreset, seed: Optional[int] = None
+    preset: ExperimentPreset, seed: Optional[int] = None, engine=None
 ) -> Dict[str, SimulationResult]:
     """Run the Figure-2/3 pair (Megh and THR-MMT) on a preset."""
     effective_seed = preset.seed if seed is None else seed
+    if engine is not None:
+        from repro.engine.registry import SchedulerSpec, spec_mmt_factories
+
+        return engine.run_comparison(
+            preset_builder_spec(preset),
+            {
+                "THR-MMT": spec_mmt_factories(detectors=("THR",))["THR-MMT"],
+                "Megh": SchedulerSpec.create("megh", seed=effective_seed),
+            },
+            seed=effective_seed,
+        )
     simulation = ExperimentPreset(
         **{**preset.__dict__, "seed": effective_seed}
     ).build()
@@ -161,10 +208,21 @@ def run_megh_vs_thr(
 
 
 def run_megh_vs_madvm(
-    preset: ExperimentPreset, seed: Optional[int] = None
+    preset: ExperimentPreset, seed: Optional[int] = None, engine=None
 ) -> Dict[str, SimulationResult]:
     """Run the Figure-4/5 pair (Megh and MadVM) on a preset."""
     effective_seed = preset.seed if seed is None else seed
+    if engine is not None:
+        from repro.engine.registry import SchedulerSpec
+
+        return engine.run_comparison(
+            preset_builder_spec(preset),
+            {
+                "Megh": SchedulerSpec.create("megh", seed=effective_seed),
+                "MadVM": SchedulerSpec.create("madvm", seed=effective_seed),
+            },
+            seed=effective_seed,
+        )
     simulation = ExperimentPreset(
         **{**preset.__dict__, "seed": effective_seed}
     ).build()

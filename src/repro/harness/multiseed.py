@@ -66,27 +66,35 @@ class SeedAggregate:
     results: List[SimulationResult] = field(default_factory=list)
 
 
-def run_multi_seed(
-    builder: SimulationBuilder,
-    factories: Dict[str, SchedulerFactory],
-    seeds: Sequence[int],
+def cheapest_algorithm(results: Dict[str, SimulationResult]) -> str:
+    """The per-seed winner: lowest total cost, ties broken by name.
+
+    The explicit ``(cost, name)`` key makes the win count independent of
+    dict insertion order — two algorithms with exactly equal cost always
+    resolve to the lexicographically smaller name.
+    """
+    return min(
+        results.items(), key=lambda kv: (kv[1].total_cost_usd, kv[0])
+    )[0]
+
+
+def aggregate_seed_results(
+    results_by_seed: Sequence[Dict[str, SimulationResult]],
 ) -> Dict[str, SeedAggregate]:
-    """Run every factory on a fresh simulation per seed and aggregate."""
-    if not seeds:
-        raise ConfigurationError("need at least one seed")
-    if not factories:
-        raise ConfigurationError("need at least one scheduler factory")
+    """Fold per-seed comparison results into :class:`SeedAggregate`s.
+
+    Shared by the serial loop and the execution engine's parallel path;
+    given the same per-seed results it is bit-identical either way.
+    """
+    if not results_by_seed:
+        raise ConfigurationError("need results for at least one seed")
+    names = list(results_by_seed[0])
     per_algorithm: Dict[str, List[SimulationResult]] = {
-        name: [] for name in factories
+        name: [] for name in names
     }
-    wins: Dict[str, int] = {name: 0 for name in factories}
-    for seed in seeds:
-        simulation = builder(seed)
-        results = run_comparison(simulation, factories)
-        cheapest = min(
-            results.items(), key=lambda kv: kv[1].total_cost_usd
-        )[0]
-        wins[cheapest] += 1
+    wins: Dict[str, int] = {name: 0 for name in names}
+    for results in results_by_seed:
+        wins[cheapest_algorithm(results)] += 1
         for name, result in results.items():
             per_algorithm[name].append(result)
     aggregates: Dict[str, SeedAggregate] = {}
@@ -109,6 +117,35 @@ def run_multi_seed(
             results=results,
         )
     return aggregates
+
+
+def run_multi_seed(
+    builder: SimulationBuilder,
+    factories: Dict[str, SchedulerFactory],
+    seeds: Sequence[int],
+    engine=None,
+) -> Dict[str, SeedAggregate]:
+    """Run every factory on a fresh simulation per seed and aggregate.
+
+    ``engine`` (an :class:`repro.engine.ExecutionEngine`) routes the
+    seed × factory grid through the execution subsystem — parallel
+    workers, result caching, and fault journaling — instead of the
+    in-process loop.  Parallel/cached execution requires spec-carrying
+    callables (``BuilderSpec``/``SchedulerSpec`` from
+    :mod:`repro.engine.registry`); the aggregates are identical to the
+    serial path's for all simulated metrics.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    if not factories:
+        raise ConfigurationError("need at least one scheduler factory")
+    if engine is not None:
+        results_by_seed = engine.run_matrix(builder, factories, seeds)
+    else:
+        results_by_seed = [
+            run_comparison(builder(seed), factories) for seed in seeds
+        ]
+    return aggregate_seed_results(results_by_seed)
 
 
 def render_aggregates(

@@ -40,17 +40,49 @@ class SweepCell:
         return dict(self.parameters)
 
 
+def _cell_from_results(
+    parameters: Tuple[Tuple[str, object], ...],
+    results: Sequence[object],
+    repeats: int,
+) -> SweepCell:
+    """Aggregate one grid point's per-seed results into a cell."""
+    step_costs: List[float] = []
+    totals: List[float] = []
+    migrations: List[float] = []
+    for result in results:
+        step_costs.extend(result.metrics.per_step_cost_series())
+        totals.append(result.total_cost_usd)
+        migrations.append(float(result.total_migrations))
+    data = np.asarray(step_costs)
+    return SweepCell(
+        parameters=parameters,
+        median_step_cost=float(np.median(data)),
+        p10_step_cost=float(np.quantile(data, 0.10)),
+        p90_step_cost=float(np.quantile(data, 0.90)),
+        mean_total_cost=float(np.mean(totals)),
+        mean_migrations=float(np.mean(migrations)),
+        repeats=repeats,
+    )
+
+
 def sweep_megh(
     builder: SimulationBuilder,
     grid: Dict[str, Sequence[object]],
     base_config: MeghConfig | None = None,
     seeds: Sequence[int] = (0,),
+    engine=None,
 ) -> List[SweepCell]:
     """Run Megh over the Cartesian product of ``grid``'s values.
 
     ``grid`` maps :class:`MeghConfig` field names to the values to try;
     unknown field names raise immediately.  Each cell runs once per
     seed; per-step costs pool across seeds.
+
+    ``engine`` (an :class:`repro.engine.ExecutionEngine`) submits the
+    whole grid — every cell × seed — as one batch of jobs, so a sweep
+    parallelizes across cells as well as seeds and replays unchanged
+    cells from cache.  The engine path requires ``builder`` to be a
+    :class:`repro.engine.registry.BuilderSpec`.
     """
     if not grid:
         raise ConfigurationError("grid must name at least one parameter")
@@ -64,34 +96,28 @@ def sweep_megh(
                 f"unknown MeghConfig field {name!r}; "
                 f"valid fields: {sorted(valid_fields)}"
             )
-    cells: List[SweepCell] = []
     names = list(grid)
-    for values in itertools.product(*(grid[name] for name in names)):
-        overrides = dict(zip(names, values))
-        config = replace(base, **overrides)
-        step_costs: List[float] = []
-        totals: List[float] = []
-        migrations: List[float] = []
+    points = list(itertools.product(*(grid[name] for name in names)))
+    configs = [
+        replace(base, **dict(zip(names, values))) for values in points
+    ]
+    if engine is not None:
+        per_cell = engine.run_sweep(builder, configs, seeds)
+        return [
+            _cell_from_results(tuple(zip(names, values)), results, len(seeds))
+            for values, results in zip(points, per_cell)
+        ]
+    cells: List[SweepCell] = []
+    for values, config in zip(points, configs):
+        results = []
         for seed in seeds:
             simulation = builder(seed)
             agent = MeghScheduler.from_simulation(
                 simulation, config=config, seed=seed
             )
-            result = simulation.run(agent)
-            step_costs.extend(result.metrics.per_step_cost_series())
-            totals.append(result.total_cost_usd)
-            migrations.append(float(result.total_migrations))
-        data = np.asarray(step_costs)
+            results.append(simulation.run(agent))
         cells.append(
-            SweepCell(
-                parameters=tuple(zip(names, values)),
-                median_step_cost=float(np.median(data)),
-                p10_step_cost=float(np.quantile(data, 0.10)),
-                p90_step_cost=float(np.quantile(data, 0.90)),
-                mean_total_cost=float(np.mean(totals)),
-                mean_migrations=float(np.mean(migrations)),
-                repeats=len(seeds),
-            )
+            _cell_from_results(tuple(zip(names, values)), results, len(seeds))
         )
     return cells
 

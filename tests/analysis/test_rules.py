@@ -20,7 +20,7 @@ def findings(source: str, rule_id: str):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert all_rule_ids() == [
             "MEGH001",
             "MEGH002",
@@ -28,6 +28,7 @@ class TestRegistry:
             "MEGH004",
             "MEGH005",
             "MEGH006",
+            "MEGH007",
         ]
 
     def test_every_rule_has_summary_and_severity(self):
@@ -221,3 +222,48 @@ class TestMegh006SwallowedExceptions:
             "        raise\n"
         )
         assert findings(source, "MEGH006") == []
+
+
+class TestMegh007AdHocParallelism:
+    def path_findings(self, source: str, path: str):
+        result = lint_source(
+            source, path=path, config=LintConfig(select=["MEGH007"])
+        )
+        return result.diagnostics
+
+    def test_flags_multiprocessing_import(self):
+        hits = findings("import multiprocessing\n", "MEGH007")
+        assert len(hits) == 1
+        assert "ExecutionEngine" in hits[0].message
+
+    def test_flags_multiprocessing_submodule(self):
+        assert len(findings("import multiprocessing.pool\n", "MEGH007")) == 1
+        assert len(
+            findings("from multiprocessing import Pool\n", "MEGH007")
+        ) == 1
+
+    def test_flags_concurrent_futures(self):
+        assert len(findings("import concurrent.futures\n", "MEGH007")) == 1
+        assert len(
+            findings(
+                "from concurrent.futures import ProcessPoolExecutor\n",
+                "MEGH007",
+            )
+        ) == 1
+        assert len(
+            findings("from concurrent import futures\n", "MEGH007")
+        ) == 1
+
+    def test_engine_package_exempt(self):
+        source = "import multiprocessing\n"
+        assert (
+            self.path_findings(source, "src/repro/engine/pool.py") == []
+        )
+        assert len(self.path_findings(source, "src/repro/cli.py")) == 1
+
+    def test_allows_threading_and_unrelated_imports(self):
+        assert findings("import threading\nimport json\n", "MEGH007") == []
+        assert (
+            findings("from concurrent import interpreters\n", "MEGH007")
+            == []
+        )

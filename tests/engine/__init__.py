@@ -1,0 +1,1 @@
+"""Tests for the execution engine (:mod:`repro.engine`)."""

@@ -1,0 +1,62 @@
+"""Fault-injecting scheduler constructors for engine tests.
+
+These are referenced by ``module:attr`` dotted paths (the registry's
+escape hatch), so worker processes can import them by name.  Each
+returns a scheduler whose ``decide`` misbehaves in a specific way,
+exercising one failure path of the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+class _RaisingScheduler:
+    """Scheduler that raises deterministically on its first decision."""
+
+    name = "raising"
+
+    def decide(self, observation):
+        raise RuntimeError("injected failure")
+
+
+class _HangingScheduler:
+    """Scheduler that sleeps far past any reasonable per-job timeout."""
+
+    name = "hanging"
+
+    def __init__(self, sleep_seconds: float):
+        self.sleep_seconds = sleep_seconds
+
+    def decide(self, observation):
+        time.sleep(self.sleep_seconds)
+        raise RuntimeError("should have been killed before waking")
+
+
+class _SuicidalScheduler:
+    """Scheduler that SIGKILLs its own process mid-job (simulated OOM)."""
+
+    name = "suicidal"
+
+    def decide(self, observation):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def make_raising(simulation):
+    """Constructor for a job that fails deterministically."""
+    del simulation
+    return _RaisingScheduler()
+
+
+def make_hanging(simulation, sleep_seconds: float = 60.0):
+    """Constructor for a job that exceeds any small timeout."""
+    del simulation
+    return _HangingScheduler(sleep_seconds)
+
+
+def make_crashing(simulation):
+    """Constructor for a job whose worker dies without replying."""
+    del simulation
+    return _SuicidalScheduler()

@@ -1,0 +1,69 @@
+"""Tests for the content-addressed result cache."""
+
+import pytest
+
+from repro.baselines.noop import NoMigrationScheduler
+from repro.engine.cache import CacheStats, ResultCache
+from repro.harness.builders import build_planetlab_simulation
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture(scope="module")
+def result():
+    simulation = build_planetlab_simulation(
+        num_pms=3, num_vms=4, num_steps=8, seed=0
+    )
+    return simulation.run(NoMigrationScheduler())
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.stats() == CacheStats(hits=0, misses=1, stores=0)
+
+    def test_put_then_get_hit(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(KEY, result)
+        assert path.exists()
+        assert path.parent.name == KEY[:2]
+        cached = cache.get(KEY)
+        assert cached is not None
+        assert cached.to_dict() == result.to_dict()
+        assert cache.stats() == CacheStats(hits=1, misses=0, stores=1)
+
+    def test_entries_shared_across_instances(self, tmp_path, result):
+        ResultCache(tmp_path).put(KEY, result)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(KEY) is not None
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_corrupt_entry_is_miss_and_evicted(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, result)
+        cache.path_for(KEY).write_text("{truncated", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+        assert not cache.contains(KEY)
+
+    def test_contains_without_counters(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        assert not cache.contains(KEY)
+        cache.put(KEY, result)
+        assert cache.contains(KEY)
+        assert cache.stats().lookups == 0
+
+    def test_clear(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.put(KEY, result)
+        cache.put(OTHER, result)
+        assert cache.clear() == 2
+        assert not cache.contains(KEY)
+        assert not cache.contains(OTHER)
+
+    def test_stats_str(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get(KEY)
+        assert "1 misses" in str(cache.stats())

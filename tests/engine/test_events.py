@@ -1,0 +1,53 @@
+"""Tests for the engine's event journal."""
+
+import json
+
+from repro.engine import events as ev
+from repro.engine.events import EngineEvent, EventJournal, read_journal
+
+
+class TestEventJournal:
+    def test_sequence_numbers_monotonic(self):
+        journal = EventJournal()
+        first = journal.emit(ev.QUEUED, "k1")
+        second = journal.emit(ev.STARTED, "k1", attempt=1)
+        third = journal.emit(ev.FINISHED, "k1", attempt=1, duration_seconds=0.5)
+        assert (first.seq, second.seq, third.seq) == (0, 1, 2)
+        assert [event.kind for event in journal.events] == [
+            ev.QUEUED, ev.STARTED, ev.FINISHED,
+        ]
+
+    def test_counts_include_zero_kinds(self):
+        journal = EventJournal()
+        journal.emit(ev.QUEUED, "k")
+        counts = journal.counts()
+        assert counts[ev.QUEUED] == 1
+        assert counts[ev.FAILED] == 0
+        assert set(ev.ALL_KINDS) <= set(counts)
+        assert journal.count(ev.QUEUED) == 1
+
+    def test_jsonl_mirror_and_read_back(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            journal.emit(ev.QUEUED, "k1", tag="a")
+            journal.emit(ev.FAILED, "k1", attempt=2, detail="boom")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == ev.QUEUED
+        events = read_journal(path)
+        assert events == journal.events
+        assert events[1].detail == "boom"
+        assert events[1].attempt == 2
+
+    def test_event_json_is_one_line(self):
+        event = EngineEvent(seq=0, kind=ev.QUEUED, job="k", tag="t")
+        text = event.to_json()
+        assert "\n" not in text
+        assert json.loads(text)["job"] == "k"
+
+    def test_events_survive_close(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl")
+        journal.emit(ev.QUEUED, "k")
+        journal.close()
+        assert journal.count(ev.QUEUED) == 1
+        journal.close()  # idempotent

@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError
 from repro.harness.builders import build_planetlab_simulation
 from repro.harness.multiseed import (
     MetricSummary,
+    cheapest_algorithm,
     run_multi_seed,
     render_aggregates,
 )
@@ -70,6 +71,36 @@ class TestRunMultiSeed:
     def test_empty_factories_rejected(self):
         with pytest.raises(ConfigurationError):
             run_multi_seed(builder, {}, seeds=[0])
+
+    def test_equal_cost_tie_broken_by_name(self):
+        # Two factories producing *identical* runs (same scheduler, same
+        # seed) tie exactly on total cost; the win must go to the
+        # lexicographically smaller name regardless of insertion order.
+        def noop(sim):
+            return NoMigrationScheduler()
+
+        forward = run_multi_seed(
+            builder, {"Alpha": noop, "Beta": noop}, seeds=[0]
+        )
+        reverse = run_multi_seed(
+            builder, {"Beta": noop, "Alpha": noop}, seeds=[0]
+        )
+        assert (
+            forward["Alpha"].total_cost_usd.values
+            == forward["Beta"].total_cost_usd.values
+        )
+        assert forward["Alpha"].wins == 1 and forward["Beta"].wins == 0
+        assert reverse["Alpha"].wins == 1 and reverse["Beta"].wins == 0
+
+    def test_cheapest_algorithm_prefers_lower_cost(self, aggregates):
+        results = {
+            name: aggregate.results[0]
+            for name, aggregate in aggregates.items()
+        }
+        winner = cheapest_algorithm(results)
+        assert results[winner].total_cost_usd == min(
+            r.total_cost_usd for r in results.values()
+        )
 
     def test_render(self, aggregates):
         text = render_aggregates(aggregates, title="sweep")

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.mdp",
     "repro.harness",
+    "repro.engine",
 ]
 
 
