@@ -1,0 +1,127 @@
+"""Microbenchmark — full ``MeghScheduler.decide()`` at paper scale.
+
+Times every ``decide()`` call of a synthetic-PlanetLab run at the
+paper's fleet size (N=1052 VMs, M=800 PMs, d=841,600) with contracts
+off, capturing the end-to-end per-step latency the Figure-6 scalability
+claim is about — candidate generation, the Algorithm-1 learning step,
+batched Q scoring, and Boltzmann selection together.
+
+Results merge into the ``"decide"`` section of ``BENCH_core.json``::
+
+    PYTHONPATH=src python benchmarks/bench_core_decide.py          # paper scale
+    PYTHONPATH=src python benchmarks/bench_core_decide.py --fast   # CI smoke
+
+Standalone script (no pytest test functions); the CI ``bench-smoke``
+job runs it in ``--fast`` mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+try:
+    from benchmarks.core_bench_util import DEFAULT_OUTPUT, merge_section
+    from benchmarks.core_bench_util import PAPER_NUM_PMS, PAPER_NUM_VMS
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from core_bench_util import DEFAULT_OUTPUT, merge_section
+    from core_bench_util import PAPER_NUM_PMS, PAPER_NUM_VMS
+
+
+class _TimedDecide:
+    """Scheduler proxy that samples the latency of every decide()."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.samples: List[float] = []
+
+    def decide(self, observation):
+        started = time.perf_counter()
+        migrations = self._inner.decide(observation)
+        self.samples.append(time.perf_counter() - started)
+        return migrations
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def measure_decide(
+    num_pms: int, num_vms: int, num_steps: int, seed: int = 0
+) -> Dict:
+    """Run a fixed-seed simulation, timing each scheduler decision."""
+    from repro.core.agent import MeghScheduler
+    from repro.harness.builders import build_planetlab_simulation
+    from repro.harness.runner import run_scheduler
+
+    simulation = build_planetlab_simulation(
+        num_pms=num_pms, num_vms=num_vms, num_steps=num_steps, seed=seed
+    )
+    scheduler = MeghScheduler.from_simulation(
+        simulation, seed=seed, contracts=False
+    )
+    timed = _TimedDecide(scheduler)
+    result = run_scheduler(simulation, timed)
+    samples = np.asarray(timed.samples)
+    return {
+        "num_pms": num_pms,
+        "num_vms": num_vms,
+        "dimension": num_pms * num_vms,
+        "num_steps": int(samples.shape[0]),
+        "seed": seed,
+        "decide_ms_mean": float(samples.mean() * 1e3),
+        "decide_ms_p50": float(np.median(samples) * 1e3),
+        "decide_ms_max": float(samples.max() * 1e3),
+        "decide_ops_per_s": float(samples.shape[0] / samples.sum()),
+        "total_migrations": result.total_migrations,
+        "q_table_nonzeros": scheduler.q_table_nonzeros,
+        "theta_cache_hits": scheduler.lstd.theta_cache_hits,
+        "theta_cache_misses": scheduler.lstd.theta_cache_misses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="tiny fleet for the CI smoke job (seconds, not minutes)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, metavar="PATH")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="override the number of simulated steps",
+    )
+    args = parser.parse_args(argv)
+    os.environ["REPRO_CONTRACTS"] = "0"  # clean timings
+
+    if args.fast:
+        payload = measure_decide(
+            num_pms=10,
+            num_vms=14,
+            num_steps=args.steps or 25,
+            seed=args.seed,
+        )
+    else:
+        payload = measure_decide(
+            num_pms=PAPER_NUM_PMS,
+            num_vms=PAPER_NUM_VMS,
+            num_steps=args.steps or 12,
+            seed=args.seed,
+        )
+    merge_section(args.out, "decide", payload)
+    json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+    print(f"\nmerged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Shared plumbing for the core microbenchmarks (``BENCH_core.json``).
+
+The two core microbenchmark scripts (``bench_core_lstd.py`` and
+``bench_core_decide.py``) each measure one layer of the hot path and
+merge their section into a single JSON artefact, so a full record is
+built up incrementally::
+
+    PYTHONPATH=src python benchmarks/bench_core_lstd.py
+    PYTHONPATH=src python benchmarks/bench_core_decide.py
+
+Both accept ``--fast`` (tiny sizes, used by the CI ``bench-smoke`` job)
+and ``--out PATH`` (defaults to ``BENCH_core.json`` at the repo root).
+No wall-clock timestamps are recorded — only durations via
+``time.perf_counter`` — keeping the artefact reproducible and meghlint
+(MEGH002) clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict
+
+import numpy as np
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_core.json",
+)
+
+#: The paper's evaluation scale (Section 6): N=1052 VMs on M=800 PMs.
+PAPER_NUM_VMS = 1052
+PAPER_NUM_PMS = 800
+
+
+def environment_metadata() -> Dict[str, str]:
+    """Toolchain/platform fingerprint stored alongside the numbers."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "contracts": os.environ.get("REPRO_CONTRACTS", "0"),
+    }
+
+
+def merge_section(path: str, section: str, payload: Dict) -> Dict:
+    """Merge one benchmark's results into the shared JSON artefact."""
+    data: Dict = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError:
+                data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data["meta"] = environment_metadata()
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return data

@@ -12,7 +12,11 @@ Each rule targets a way a change could silently break the reproduction:
   RNG must accept ``seed`` or ``rng`` so the harness can control it;
 * **MEGH006** — bare/swallowed exceptions hide harness failures;
 * **MEGH007** — ad-hoc multiprocessing bypasses the execution engine's
-  determinism, caching, and fault-isolation guarantees.
+  determinism, caching, and fault-isolation guarantees;
+* **MEGH008** — a ``for ... in range(<x>.dimension)`` loop in the
+  numerical core scans all ``d = N x M`` one-hot coordinates, breaking
+  the Section-5.2 claim that per-step work tracks the non-zeros
+  actually touched.
 
 Rules are registered in :data:`RULE_REGISTRY` and run by
 :mod:`repro.analysis.engine`.  Suppress a finding on its line with
@@ -581,6 +585,63 @@ class AdHocParallelismRule(Rule):
                         node,
                         self._MESSAGE.format(module="concurrent.futures"),
                     )
+
+
+# ----------------------------------------------------------------------
+# MEGH008 — O(d) full-dimension scans in the numerical core
+# ----------------------------------------------------------------------
+
+
+def _is_core_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return "repro/core/" in normalized or normalized.endswith("repro/core")
+
+
+def _mentions_dimension(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "dimension":
+        return True
+    if isinstance(node, ast.Name) and node.id == "dimension":
+        return True
+    return False
+
+
+@register
+class FullDimensionScanRule(Rule):
+    """MEGH008: ``range(x.dimension)`` loops defeat sparsity in the core."""
+
+    rule_id = "MEGH008"
+    severity = Severity.ERROR
+    summary = (
+        "iterating range(<x>.dimension) in repro/core scans all d = N x M "
+        "coordinates; walk the stored non-zeros (column index, row "
+        "support) instead"
+    )
+
+    def check(self, context: RuleContext) -> Iterator[Diagnostic]:
+        if not _is_core_path(context.path):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            iterator = node.iter
+            if not isinstance(iterator, ast.Call):
+                continue
+            if dotted_name(iterator.func) != "range":
+                continue
+            if any(
+                _mentions_dimension(argument)
+                for argument in iterator.args
+            ):
+                yield self.diagnostic(
+                    context,
+                    node,
+                    "loop over range(dimension) visits every one-hot "
+                    "coordinate — O(d) per call where the paper promises "
+                    "O(nnz touched); iterate the sparse support "
+                    "(rows_with_column, row_view, z keys) instead, or "
+                    "annotate a deliberate dense scan with "
+                    "'# meghlint: ignore[MEGH008] -- reason'",
+                )
 
 
 def build_rules(

@@ -14,6 +14,12 @@ pass (see :mod:`repro.analysis` and ``docs/static_analysis.md``)::
     repro lint src/ benchmarks/
     repro lint --list-rules
     repro lint --format json src/repro/core
+
+The ``profile`` subcommand wraps cProfile around a short simulation and
+prints the hottest functions (see ``docs/performance.md``)::
+
+    repro profile --pms 40 --vms 52 --steps 120
+    repro profile --profile-sort tottime --profile-limit 40
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id: table2, table3, fig2..fig8, 'compare', "
-            "'lint', or 'list'"
+            "'lint', 'profile', or 'list'"
         ),
     )
     parser.add_argument(
@@ -68,6 +74,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--claims",
         action="store_true",
         help="compare: append Section-6.3-style comparative claims",
+    )
+    parser.add_argument(
+        "--profile-sort",
+        default="cumulative",
+        metavar="KEY",
+        help="profile: pstats sort key (cumulative, tottime, ncalls, ...)",
+    )
+    parser.add_argument(
+        "--profile-limit",
+        type=int,
+        default=25,
+        metavar="N",
+        help="profile: number of stat lines to print",
     )
     parser.add_argument(
         "--jobs",
@@ -177,6 +196,44 @@ def _run_figure_pair(
     return render_figure(series, title=f"{experiment}: {preset.description}")
 
 
+def _run_profile(args) -> str:
+    """cProfile a short Megh simulation; return the hottest functions.
+
+    Contracts are forced off so the profile reflects the production hot
+    path, not the audit machinery.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.core.agent import MeghScheduler
+    from repro.harness.builders import build_planetlab_simulation
+    from repro.harness.runner import run_scheduler
+
+    seed = args.seed or 0
+    steps = args.steps or 60
+    simulation = build_planetlab_simulation(
+        num_pms=args.pms, num_vms=args.vms, num_steps=steps, seed=seed
+    )
+    scheduler = MeghScheduler.from_simulation(
+        simulation, seed=seed, contracts=False
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scheduler(simulation, scheduler)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(args.profile_sort).print_stats(args.profile_limit)
+    header = (
+        f"profile: planetlab-synthetic {args.pms} PMs / {args.vms} VMs / "
+        f"{steps} steps, seed {seed}, contracts off — "
+        f"{result.total_migrations} migrations, "
+        f"{scheduler.q_table_nonzeros} B non-zeros\n"
+    )
+    return header + buffer.getvalue()
+
+
 def _run_fig6(steps: Optional[int], seed: Optional[int]) -> str:
     points = experiments.run_scalability_grid(
         num_steps=steps or 100, seed=seed or 0
@@ -247,6 +304,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "lint     meghlint static analysis "
                 "(paths, --format, --select, --ignore, --list-rules)"
             )
+            print(
+                "profile  cProfile a short simulation "
+                "(--pms/--vms/--steps/--profile-sort/--profile-limit)"
+            )
             return 0
     except BrokenPipeError:
         return 0  # output piped into a closed reader (e.g. `| head`)
@@ -254,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if experiment == "compare":
             print(_run_compare(args, engine))
+        elif experiment == "profile":
+            print(_run_profile(args))
         elif experiment in ("table2", "table3"):
             print(_run_table(experiment, args.steps, args.seed, engine))
         elif experiment in ("fig2", "fig3", "fig4", "fig5"):

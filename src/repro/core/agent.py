@@ -148,13 +148,13 @@ class MeghScheduler:
         chosen = self._select_actions(observation, candidates)
         datacenter = observation.datacenter
         moves = [
-            a
-            for a in chosen
+            (a, q)
+            for a, q in chosen
             if datacenter.host_of(a.vm_id) != a.dest_pm_id
         ]
         noops = [
             a
-            for a in chosen
+            for a, _ in chosen
             if datacenter.host_of(a.vm_id) == a.dest_pm_id
         ]
         # Record the executed migrations plus a bounded sample of no-ops,
@@ -167,7 +167,8 @@ class MeghScheduler:
             )
             noops = [noops[int(i)] for i in picked]
         self._previous_action_indices = [
-            self.basis.index_of(action) for action in moves + noops
+            self.basis.index_of(action)
+            for action in [a for a, _ in moves] + noops
         ]
         if self.trace is not None:
             from repro.core.trace import DecisionRecord
@@ -182,12 +183,12 @@ class MeghScheduler:
                         len(actions) for actions in candidates
                     ),
                     chosen=tuple(
-                        (a.vm_id, a.dest_pm_id) for a in moves
+                        (a.vm_id, a.dest_pm_id) for a, _ in moves
                     ),
-                    chosen_q=tuple(
-                        self.lstd.q_value(self.basis.index_of(a))
-                        for a in moves
-                    ),
+                    # Raw (margin-free) Q, reused from selection — B and
+                    # z have not changed since, so recomputing would be
+                    # the same value at twice the cost.
+                    chosen_q=tuple(q for _, q in moves),
                     q_table_nonzeros=self.lstd.q_table_nonzeros,
                 )
             )
@@ -195,7 +196,8 @@ class MeghScheduler:
         self._steps_seen += 1
         self.qtable.record(self._steps_seen, self.lstd.q_table_nonzeros)
         return [
-            Migration(vm_id=a.vm_id, dest_pm_id=a.dest_pm_id) for a in moves
+            Migration(vm_id=a.vm_id, dest_pm_id=a.dest_pm_id)
+            for a, _ in moves
         ]
 
     # ------------------------------------------------------------------
@@ -395,16 +397,17 @@ class MeghScheduler:
         self, candidates: List[List[MigrationAction]]
     ) -> Optional[int]:
         """``phi_{pi_t(s_{t+1})}``: the current policy's pick in the new state."""
-        best_index: Optional[int] = None
-        best_q = float("inf")
-        for actions in candidates:
-            for action in actions:
-                index = self.basis.index_of(action)
-                q = self.lstd.q_value(index)
-                if q < best_q:
-                    best_q = q
-                    best_index = index
-        return best_index
+        indices = [
+            self.basis.index_of(action)
+            for actions in candidates
+            for action in actions
+        ]
+        if not indices:
+            return None
+        q_batch = self.lstd.q_values(indices)
+        # np.argmin keeps the first minimiser, matching the historical
+        # strict `<` scan.
+        return indices[int(np.argmin(q_batch))]
 
     # ------------------------------------------------------------------
     # Action selection ("when")
@@ -413,27 +416,48 @@ class MeghScheduler:
         self,
         observation: Observation,
         candidates: List[List[MigrationAction]],
-    ) -> List[MigrationAction]:
+    ) -> List[tuple]:
+        """Pick one action per candidate VM; returns ``(action, raw_q)``.
+
+        ``raw_q`` is the margin-free ``Q(s, a)`` of the selected action,
+        handed back so ``decide()``'s trace branch can reuse it instead
+        of recomputing the same dot products.
+        """
         datacenter = observation.datacenter
         overloaded_now = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
-        picks: List[tuple[float, MigrationAction]] = []
+        # One batched Q evaluation for the whole candidate set; per-VM
+        # slices below are views into this cache-backed array.
+        flat_q = self.lstd.q_values(
+            [
+                self.basis.index_of(action)
+                for actions in candidates
+                for action in actions
+            ]
+        )
+        picks: List[tuple[float, MigrationAction, float]] = []
+        offset = 0
         for actions in candidates:
+            raw_q = flat_q[offset : offset + len(actions)]
+            offset += len(actions)
             source = datacenter.host_of(actions[0].vm_id)
             mandatory = source in overloaded_now
-            q_values = []
-            for action in actions:
-                q = self.lstd.q_value(self.basis.index_of(action))
-                # Soft switching cost: consolidation moves must beat the
-                # stay-put Q by the hysteresis margin.  At high
-                # temperature the margin is negligible (exploration is
-                # unharmed); once the temperature decays it suppresses
-                # ping-pong between equally good homes.  Relief moves off
-                # overloaded hosts are exempt.
-                if action.dest_pm_id != source and not mandatory:
-                    q += self.config.migration_margin
-                q_values.append(q)
+            q_values = raw_q.copy()
+            # Soft switching cost: consolidation moves must beat the
+            # stay-put Q by the hysteresis margin.  At high
+            # temperature the margin is negligible (exploration is
+            # unharmed); once the temperature decays it suppresses
+            # ping-pong between equally good homes.  Relief moves off
+            # overloaded hosts are exempt.
+            if not mandatory:
+                q_values += self.config.migration_margin * np.fromiter(
+                    (action.dest_pm_id != source for action in actions),
+                    dtype=np.float64,
+                    count=len(actions),
+                )
             action, index = self.policy.select(actions, q_values)
-            picks.append((q_values[index], action))
+            picks.append(
+                (float(q_values[index]), action, float(raw_q[index]))
+            )
         max_moves = max(
             1, int(self.config.max_migration_fraction * self.action_space.num_vms)
         )
@@ -443,19 +467,26 @@ class MeghScheduler:
         # matters); remaining slots go to the best-Q consolidation moves.
         overloaded = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
         noops = [
-            action
-            for _, action in picks
+            (action, raw)
+            for _, action, raw in picks
             if datacenter.host_of(action.vm_id) == action.dest_pm_id
         ]
         moves = sorted(
             (
-                (datacenter.host_of(action.vm_id) not in overloaded, q, action)
-                for q, action in picks
+                (
+                    datacenter.host_of(action.vm_id) not in overloaded,
+                    q,
+                    action,
+                    raw,
+                )
+                for q, action, raw in picks
                 if datacenter.host_of(action.vm_id) != action.dest_pm_id
             ),
-            key=lambda triple: (triple[0], triple[1]),
+            key=lambda entry: (entry[0], entry[1]),
         )
-        chosen = noops + [action for _, _, action in moves[:max_moves]]
+        chosen = noops + [
+            (action, raw) for _, _, action, raw in moves[:max_moves]
+        ]
         return chosen
 
     # ------------------------------------------------------------------
@@ -486,12 +517,13 @@ class MeghScheduler:
             )
         if top_k < 1:
             raise ConfigurationError("top_k must be >= 1")
+        actions = list(self.action_space.actions_for_vm(vm_id))
+        q_batch = self.lstd.q_values(
+            [self.basis.index_of(action) for action in actions]
+        )
         scored = [
-            (
-                action.dest_pm_id,
-                self.lstd.q_value(self.basis.index_of(action)),
-            )
-            for action in self.action_space.actions_for_vm(vm_id)
+            (action.dest_pm_id, float(q))
+            for action, q in zip(actions, q_batch)
         ]
         scored.sort(key=lambda pair: pair[1])
         return scored[:top_k]

@@ -179,6 +179,16 @@ class ShermanMorrisonAuditor:
             )
         elif not np.all(np.isfinite(theta)):
             violations.append("projection vector theta has non-finite entries")
+        verify_cache = getattr(self.lstd, "verify_theta_cache", None)
+        if verify_cache is not None:
+            stale_rows = verify_cache()
+            if stale_rows:
+                preview = ", ".join(str(i) for i in stale_rows[:8])
+                violations.append(
+                    f"theta cache is stale for {len(stale_rows)} row(s) "
+                    f"[{preview}{', ...' if len(stale_rows) > 8 else ''}]: "
+                    "dirty-row invalidation missed an update"
+                )
         if violations:
             return violations
         if self._mirror is not None:

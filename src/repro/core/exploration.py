@@ -54,8 +54,14 @@ class BoltzmannPolicy:
         )
 
     def weights(self, q_values: Sequence[float]) -> List[float]:
-        """Unnormalised Boltzmann weights (line 8 of Algorithm 2)."""
-        if not q_values:
+        """Unnormalised Boltzmann weights (line 8 of Algorithm 2).
+
+        Accepts any float sequence, including a NumPy array from
+        :meth:`repro.core.lstd.SparseLstd.q_values`; the elementwise
+        ``math.exp`` is kept deliberately (bit-identical to the
+        historical scalar path — candidate lists are tiny).
+        """
+        if len(q_values) == 0:
             return []
         minimum = min(q_values)
         return [
@@ -140,7 +146,7 @@ class EpsilonGreedyPolicy:
 
     def probabilities(self, q_values: Sequence[float]) -> List[float]:
         """Selection distribution: greedy mass plus uniform exploration."""
-        if not q_values:
+        if len(q_values) == 0:
             return []
         count = len(q_values)
         base = self.epsilon / count

@@ -7,11 +7,29 @@ Sherman–Morrison formula (Eq. 11), the reward-weighted feature sum ``z``
 ``Q(s, a) = theta[index(a)]`` and each theta entry is a single sparse
 row-vector dot product — computed lazily so a step's cost is proportional
 to the migrations performed, exactly the Section 5.2 claim.
+
+Hot-path layout (see ``docs/performance.md``):
+
+* ``q_value`` / ``q_values`` serve from a **dirty-row theta cache**.  A
+  row's cached ``theta[i] = B[i,:] . z`` stays valid until an
+  ``update()`` touches it; candidate re-evaluation across steps then
+  costs one array read instead of a dot product.
+* ``update()`` invalidates *exactly* the support of column ``a`` of the
+  pre-update ``B``.  That set covers every changed quantity: the rank-1
+  update rewrites only rows ``i`` with ``B[i,a] != 0``, and the
+  ``z[a] += cost`` change only affects rows with a stored ``(i, a)``
+  entry — which (because ``B_new[i,a] = B_old[i,a] * (1 + scale*v_a)``)
+  is a subset of the same support.
+* external writes (``lstd.B.set(...)``, ``lstd.z[j] = ...``) are caught
+  by the :attr:`SparseMatrix.mutations` counter and a write-through
+  :class:`RewardVector`, so deliberate corruption in the contract tests
+  still invalidates what it must.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import math
+from typing import Dict, Iterable, List, MutableMapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,6 +39,58 @@ from repro.errors import ConfigurationError
 #: Denominators below this in magnitude would blow up the rank-1 update;
 #: such samples are skipped (standard recursive-least-squares practice).
 DENOMINATOR_FLOOR = 1e-10
+
+
+class RewardVector(MutableMapping):
+    """The sparse reward-weighted feature sum ``z`` with a dense mirror.
+
+    Behaves as a ``dict[int, float]`` (the historical representation —
+    checkpointing and tests rely on the mapping protocol) while keeping
+    a dense ``float64`` mirror so ``B[i,:] . z`` is one vectorized
+    gather.  Every *external* write reports the touched index to the
+    owning learner, which invalidates the dependent theta-cache rows;
+    the learner's own update path writes through :meth:`_accumulate`.
+    """
+
+    __slots__ = ("_data", "_dense", "_on_external_write")
+
+    def __init__(self, dimension: int, on_external_write) -> None:
+        self._data: Dict[int, float] = {}
+        self._dense = np.zeros(dimension, dtype=np.float64)
+        self._on_external_write = on_external_write
+
+    @property
+    def dense(self) -> np.ndarray:
+        """Dense mirror of ``z`` (live storage — do not mutate)."""
+        return self._dense
+
+    def _accumulate(self, key: int, cost: float) -> None:
+        """Internal ``z[key] += cost`` (cache already invalidated)."""
+        value = self._data.get(key, 0.0) + cost
+        self._data[key] = value
+        self._dense[key] = value
+
+    def __getitem__(self, key: int) -> float:
+        return self._data[key]
+
+    def __setitem__(self, key: int, value: float) -> None:
+        self._data[key] = value
+        self._dense[key] = value
+        self._on_external_write(key)
+
+    def __delitem__(self, key: int) -> None:
+        del self._data[key]
+        self._dense[key] = 0.0
+        self._on_external_write(key)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"RewardVector({self._data!r})"
 
 
 class SparseLstd:
@@ -33,7 +103,7 @@ class SparseLstd:
     """
 
     def __init__(
-        self, dimension: int, gamma: float, delta: float | None = None
+        self, dimension: int, gamma: float, delta: Optional[float] = None
     ) -> None:
         if dimension < 1:
             raise ConfigurationError("dimension must be >= 1")
@@ -44,11 +114,75 @@ class SparseLstd:
         self.delta = float(dimension) if delta is None else float(delta)
         if self.delta <= 0:
             raise ConfigurationError("delta must be > 0")
+        self._theta_cache = np.zeros(dimension, dtype=np.float64)
+        self._theta_fresh = np.zeros(dimension, dtype=bool)
+        self.theta_cache_hits = 0
+        self.theta_cache_misses = 0
+        self._b_mutations_seen = -1
         self.B = SparseMatrix.identity(dimension, scale=1.0 / self.delta)
-        self.z: Dict[int, float] = {}
+        self.z = {}
         self.updates_applied = 0
         self.updates_skipped = 0
 
+    # ------------------------------------------------------------------
+    # Guarded state: replacing B or z resets the theta cache
+    # ------------------------------------------------------------------
+    @property
+    def B(self) -> SparseMatrix:
+        """The incremental inverse operator."""
+        return self._B
+
+    @B.setter
+    def B(self, matrix: SparseMatrix) -> None:
+        self._B = matrix
+        self.invalidate_theta_cache()
+        self._b_mutations_seen = matrix.mutations
+
+    @property
+    def z(self) -> RewardVector:
+        """The reward-weighted feature sum (mapping ``index -> value``)."""
+        return self._z
+
+    @z.setter
+    def z(self, mapping: Dict[int, float]) -> None:
+        vector = RewardVector(self.dimension, self._on_z_external_write)
+        for key, value in mapping.items():
+            vector._accumulate(int(key), float(value))
+        self._z = vector
+        self.invalidate_theta_cache()
+
+    def _on_z_external_write(self, key: int) -> None:
+        """External ``z[key]`` write: stale rows are ``support(B e_key)``."""
+        rows = self._B.rows_with_column(key)
+        if rows:
+            self._theta_fresh[rows] = False
+
+    def invalidate_theta_cache(
+        self, rows: Union[Iterable[int], np.ndarray, None] = None
+    ) -> None:
+        """Mark cached theta rows stale (all rows when ``rows`` is None)."""
+        if rows is None:
+            self._theta_fresh[:] = False
+            return
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.shape[0]:
+            self._theta_fresh[rows] = False
+
+    def _sync_with_b(self) -> None:
+        """Full-invalidate after out-of-band ``B`` mutations.
+
+        The learner's own :meth:`update` performs targeted invalidation
+        and then re-syncs the counter; anything else that mutated ``B``
+        (tests corrupting entries, checkpoint restore populating a fresh
+        matrix) lands here.
+        """
+        if self._B.mutations != self._b_mutations_seen:
+            self._theta_fresh[:] = False
+            self._b_mutations_seen = self._B.mutations
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
     def update(self, action_index: int, next_action_index: int, cost: float) -> None:
         """One Algorithm-1 iteration for an executed action.
 
@@ -60,25 +194,40 @@ class SparseLstd:
         self._check_action(action_index)
         self._check_action(next_action_index)
         a, a_next = action_index, next_action_index
+        self._sync_with_b()
 
-        bu = self.B.column(a)
-        row_a = self.B.row(a)
-        row_next = self.B.row(a_next)
-        vtb: Dict[int, float] = dict(row_a)
-        for j, value in row_next.items():
-            vtb[j] = vtb.get(j, 0.0) - self.gamma * value
+        bu = self._B.column(a)
+
+        # v^T B as sorted arrays: union of the two row supports, then a
+        # vectorized row_a - gamma * row_next merge.
+        idx_a, val_a = self._B.row_view(a)
+        idx_next, val_next = self._B.row_view(a_next)
+        columns = np.union1d(idx_a, idx_next)
+        values = np.zeros(columns.shape[0], dtype=np.float64)
+        values[np.searchsorted(columns, idx_a)] = val_a
+        values[np.searchsorted(columns, idx_next)] -= self.gamma * val_next
 
         # denominator = 1 + v^T B u = 1 + (B[a,a] - gamma B[a',a])
         denominator = 1.0 + (
-            row_a.get(a, 0.0) - self.gamma * row_next.get(a, 0.0)
+            self._B.get(a, a) - self.gamma * self._B.get(a_next, a)
         )
         if abs(denominator) < DENOMINATOR_FLOOR:
             self.updates_skipped += 1
         else:
-            self.B.rank_one_update(bu, vtb, scale=-1.0 / denominator)
+            self._B.rank_one_update_arrays(
+                bu, columns, values, scale=-1.0 / denominator
+            )
             self.updates_applied += 1
 
-        self.z[a] = self.z.get(a, 0.0) + cost
+        # Dirty rows: support of column a of the *pre-update* B.  This
+        # covers both the rank-1 row rewrites and the z[a] change (and
+        # degenerates to just the z effect when the update is skipped).
+        if bu:
+            self._theta_fresh[
+                np.fromiter(bu.keys(), dtype=np.int64, count=len(bu))
+            ] = False
+        self._z._accumulate(a, cost)
+        self._b_mutations_seen = self._B.mutations
 
     def _check_action(self, index: int) -> None:
         if not 0 <= index < self.dimension:
@@ -86,18 +235,100 @@ class SparseLstd:
                 f"action index {index} out of range [0, {self.dimension})"
             )
 
+    # ------------------------------------------------------------------
+    # Q evaluation (cached)
+    # ------------------------------------------------------------------
     def q_value(self, action_index: int) -> float:
-        """``Q(s, a) = theta[a] = (B z)[a]`` — one sparse dot product."""
+        """``Q(s, a) = theta[a] = (B z)[a]`` — cached sparse dot product."""
         self._check_action(action_index)
-        return self.B.row_dot(action_index, self.z)
+        self._sync_with_b()
+        if self._theta_fresh[action_index]:
+            self.theta_cache_hits += 1
+            return float(self._theta_cache[action_index])
+        value = self._B.row_dot_dense(action_index, self._z.dense)
+        self._theta_cache[action_index] = value
+        self._theta_fresh[action_index] = True
+        self.theta_cache_misses += 1
+        return value
+
+    def q_values(
+        self, indices: Union[Sequence[int], np.ndarray]
+    ) -> np.ndarray:
+        """Batched :meth:`q_value` for a set of action indices.
+
+        Stale rows are recomputed once each (in ascending index order —
+        the values are independent, so order only matters for
+        determinism of the cache-counter bookkeeping); the result is one
+        fancy-index gather from the cache.
+        """
+        index_array = np.asarray(indices, dtype=np.int64)
+        if index_array.ndim != 1:
+            raise ConfigurationError("q_values expects a 1-D index sequence")
+        if index_array.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        low = int(index_array.min())
+        high = int(index_array.max())
+        if low < 0 or high >= self.dimension:
+            raise ConfigurationError(
+                f"action index out of range [0, {self.dimension}): "
+                f"batch spans [{low}, {high}]"
+            )
+        self._sync_with_b()
+        stale = np.unique(index_array[~self._theta_fresh[index_array]])
+        dense_z = self._z.dense
+        for i in stale.tolist():
+            self._theta_cache[i] = self._B.row_dot_dense(i, dense_z)
+        if stale.shape[0]:
+            self._theta_fresh[stale] = True
+        self.theta_cache_misses += int(stale.shape[0])
+        self.theta_cache_hits += int(index_array.shape[0] - stale.shape[0])
+        return self._theta_cache[index_array].copy()
 
     def theta(self) -> np.ndarray:
-        """Dense ``theta = B z`` (for analysis / tests; O(nnz))."""
+        """Dense ``theta = B z`` (for analysis / tests).
+
+        Only rows whose support intersects the ``z`` support can be
+        nonzero, so the scan walks ``union_j support(B e_j)`` for
+        ``j in z`` via the column index instead of all ``d`` rows —
+        bit-identical to the historical full loop for finite ``B``
+        (non-finite ``B`` entries are audited separately by the
+        contracts layer).
+        """
+        self._sync_with_b()
         theta = np.zeros(self.dimension)
-        for i in range(self.dimension):
-            value = self.B.row_dot(i, self.z)
-            theta[i] = value
+        candidate_rows: set = set()
+        for j in self._z:
+            candidate_rows.update(self._B.rows_with_column(j))
+        for i in sorted(candidate_rows):
+            theta[i] = self.q_value(i)
         return theta
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    def verify_theta_cache(self) -> List[int]:
+        """Rows whose cached theta disagrees with a fresh dot product.
+
+        Exact (bitwise) comparison; two NaNs count as agreeing.  An
+        empty list means the dirty-row invalidation invariant holds for
+        every currently-fresh row.  Used by the contracts auditor.
+        """
+        self._sync_with_b()
+        dense_z = self._z.dense
+        inconsistent: List[int] = []
+        for i in np.nonzero(self._theta_fresh)[0].tolist():
+            expected = self._B.row_dot_dense(i, dense_z)
+            cached = float(self._theta_cache[i])
+            if cached != expected and not (  # meghlint: ignore[MEGH003] -- cache must be bit-identical, not merely close
+                math.isnan(cached) and math.isnan(expected)
+            ):
+                inconsistent.append(i)
+        return inconsistent
+
+    @property
+    def theta_cache_fresh_rows(self) -> int:
+        """Number of rows currently served straight from the cache."""
+        return int(self._theta_fresh.sum())
 
     @property
     def q_table_nonzeros(self) -> int:

@@ -2,15 +2,37 @@
 
 The inverse operator ``B`` starts diagonal and is only ever modified by
 rank-1 updates whose left factor is a single column of ``B`` and whose
-right factor combines two rows of ``B``.  A dict-of-rows store with a
-column index therefore supports every operation Megh needs in time
-proportional to the number of stored non-zeros touched — this is the
-"triplet" data structure the paper credits for Megh's real-time speed.
+right factor combines two rows of ``B``.  Every operation Megh needs is
+therefore proportional to the number of stored non-zeros touched — the
+"triplet" property the paper credits for Megh's real-time speed.
+
+Storage layout (the vectorized rewrite of the original dict-of-dicts):
+
+* the diagonal of rows that have never seen fill-in lives in one dense
+  ``float64`` array (``B_0 = (1/delta) I`` costs one ``fill``, not ``d``
+  dict inserts);
+* a row touched by an update is *materialized* into a pair of parallel
+  NumPy arrays — sorted column indices and values — with amortized
+  doubling growth, so the Sherman–Morrison scatter in
+  :meth:`SparseMatrix.rank_one_update` is a vectorized
+  ``searchsorted`` + fused in-place add per touched row instead of a
+  Python dict transaction per touched *entry*;
+* a column index (``column -> set of materialized rows``) keeps column
+  extraction proportional to the column's non-zeros.
+
+Rows are kept sorted by column index, which makes every traversal order
+deterministic (run-to-run reproducibility) and lets dot products gather
+straight out of a dense operand with one fancy-index read.
+
+``mutations`` counts every state change; callers that memoize derived
+quantities (:class:`repro.core.lstd.SparseLstd`'s dirty-row theta cache)
+compare it to detect out-of-band writes such as the contract tests'
+deliberate corruption.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 import numpy as np
 
@@ -19,27 +41,50 @@ from repro.errors import ConfigurationError
 #: Magnitudes below this are dropped from the store, bounding fill-in noise.
 PRUNE_EPSILON = 1e-14
 
+#: Smallest materialized-row capacity; growth doubles from here.
+_MIN_CAPACITY = 4
+
+
+class _Row:
+    """One materialized sparse row: sorted parallel index/value arrays."""
+
+    __slots__ = ("idx", "val", "n")
+
+    def __init__(self, capacity: int = _MIN_CAPACITY) -> None:
+        self.idx = np.empty(capacity, dtype=np.int64)
+        self.val = np.empty(capacity, dtype=np.float64)
+        self.n = 0
+
 
 class SparseMatrix:
     """A ``dimension x dimension`` sparse matrix of floats.
 
-    Rows are dicts ``column -> value``; a column index (``column -> set of
-    rows``) makes column extraction O(nnz in column).
+    Never-touched rows store at most their diagonal entry in a shared
+    dense array; touched rows are array-backed (see the module
+    docstring).  The public API is value-compatible with the historical
+    dict-of-dicts implementation.
     """
 
     def __init__(self, dimension: int) -> None:
         if dimension < 1:
             raise ConfigurationError("dimension must be >= 1")
         self.dimension = dimension
-        self._rows: Dict[int, Dict[int, float]] = {}
-        self._col_index: Dict[int, Set[int]] = {}
+        #: Diagonal entries of rows that were never materialized.
+        self._diag = np.zeros(dimension, dtype=np.float64)
+        self._rows: Dict[int, _Row] = {}
+        self._cols: Dict[int, Set[int]] = {}
+        self._nnz = 0
+        #: Bumped on every mutation; lets caches detect external writes.
+        self.mutations = 0
 
     @classmethod
     def identity(cls, dimension: int, scale: float = 1.0) -> "SparseMatrix":
-        """``scale * I`` — Megh's ``B_0 = (1/delta) I``."""
+        """``scale * I`` — Megh's ``B_0 = (1/delta) I`` in one array fill."""
         matrix = cls(dimension)
-        for i in range(dimension):
-            matrix.set(i, i, scale)
+        if abs(scale) > PRUNE_EPSILON:
+            matrix._diag.fill(scale)
+            matrix._nnz = dimension
+            matrix.mutations += 1
         return matrix
 
     def _check_index(self, i: int, j: int) -> None:
@@ -48,92 +93,367 @@ class SparseMatrix:
                 f"index ({i}, {j}) out of range for dimension {self.dimension}"
             )
 
+    # ------------------------------------------------------------------
+    # Row materialization and maintenance
+    # ------------------------------------------------------------------
+    def _materialize(self, i: int) -> _Row:
+        """Promote row ``i`` from the implicit-diagonal store to arrays."""
+        row = _Row()
+        diagonal = self._diag[i]
+        if diagonal != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel: 0.0 means "absent"
+            row.idx[0] = i
+            row.val[0] = diagonal
+            row.n = 1
+            self._diag[i] = 0.0
+            self._cols.setdefault(i, set()).add(i)
+        self._rows[i] = row
+        return row
+
+    def _grow(self, row: _Row, needed: int) -> None:
+        capacity = row.idx.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(2 * capacity, needed, _MIN_CAPACITY)
+        idx = np.empty(new_capacity, dtype=np.int64)
+        val = np.empty(new_capacity, dtype=np.float64)
+        idx[: row.n] = row.idx[: row.n]
+        val[: row.n] = row.val[: row.n]
+        row.idx = idx
+        row.val = val
+
+    def _insert_many(
+        self,
+        i: int,
+        row: _Row,
+        positions: np.ndarray,
+        columns: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Merge ``columns``/``values`` (sorted) into the row at ``positions``."""
+        count = int(columns.shape[0])
+        if count == 0:
+            return
+        n = row.n
+        needed = n + count
+        old_idx = row.idx[:n].copy()
+        old_val = row.val[:n].copy()
+        self._grow(row, needed)
+        target = np.zeros(needed, dtype=bool)
+        target[positions + np.arange(count)] = True
+        prefix_idx = row.idx[:needed]
+        prefix_val = row.val[:needed]
+        prefix_idx[target] = columns
+        prefix_val[target] = values
+        prefix_idx[~target] = old_idx
+        prefix_val[~target] = old_val
+        row.n = needed
+        for j in columns.tolist():
+            self._cols.setdefault(j, set()).add(i)
+        self._nnz += count
+
+    def _remove_positions(self, i: int, row: _Row, positions: np.ndarray) -> None:
+        count = int(positions.shape[0])
+        if count == 0:
+            return
+        n = row.n
+        removed = row.idx[positions]
+        keep = np.ones(n, dtype=bool)
+        keep[positions] = False
+        row.idx[: n - count] = row.idx[:n][keep]
+        row.val[: n - count] = row.val[:n][keep]
+        row.n = n - count
+        for j in removed.tolist():
+            rows_of_column = self._cols.get(j)
+            if rows_of_column is not None:
+                rows_of_column.discard(i)
+                if not rows_of_column:
+                    del self._cols[j]
+        self._nnz -= count
+        if row.n == 0:
+            del self._rows[i]
+
+    # ------------------------------------------------------------------
+    # Scalar access
+    # ------------------------------------------------------------------
     def get(self, i: int, j: int) -> float:
         """Entry ``(i, j)``; 0 when unstored."""
         self._check_index(i, j)
-        return self._rows.get(i, {}).get(j, 0.0)
+        row = self._rows.get(i)
+        if row is None:
+            return float(self._diag[i]) if i == j else 0.0
+        n = row.n
+        position = int(np.searchsorted(row.idx[:n], j))
+        if position < n and row.idx[position] == j:
+            return float(row.val[position])
+        return 0.0
 
     def set(self, i: int, j: int, value: float) -> None:
         """Store (or, for tiny values, erase) entry ``(i, j)``."""
         self._check_index(i, j)
+        self.mutations += 1
+        row = self._rows.get(i)
         if abs(value) <= PRUNE_EPSILON:
-            row = self._rows.get(i)
-            if row and j in row:
-                del row[j]
-                if not row:
-                    del self._rows[i]
-                cols = self._col_index.get(j)
-                if cols:
-                    cols.discard(i)
-                    if not cols:
-                        del self._col_index[j]
+            if row is None:
+                if i == j and self._diag[i] != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+                    self._diag[i] = 0.0
+                    self._nnz -= 1
+                return
+            n = row.n
+            position = int(np.searchsorted(row.idx[:n], j))
+            if position < n and row.idx[position] == j:
+                self._remove_positions(
+                    i, row, np.array([position], dtype=np.int64)
+                )
             return
-        self._rows.setdefault(i, {})[j] = value
-        self._col_index.setdefault(j, set()).add(i)
+        if row is None:
+            if i == j:
+                if self._diag[i] == 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+                    self._nnz += 1
+                self._diag[i] = value
+                return
+            row = self._materialize(i)
+        n = row.n
+        position = int(np.searchsorted(row.idx[:n], j))
+        if position < n and row.idx[position] == j:
+            row.val[position] = value
+            return
+        self._insert_many(
+            i,
+            row,
+            np.array([position], dtype=np.int64),
+            np.array([j], dtype=np.int64),
+            np.array([value], dtype=np.float64),
+        )
 
     def add(self, i: int, j: int, delta: float) -> None:
         """In-place ``B[i, j] += delta``."""
         self.set(i, j, self.get(i, j) + delta)
 
+    # ------------------------------------------------------------------
+    # Row / column extraction
+    # ------------------------------------------------------------------
     def row(self, i: int) -> Dict[int, float]:
-        """Non-zero entries of row ``i`` (a copy)."""
+        """Non-zero entries of row ``i`` (a copy, in column order)."""
         self._check_index(i, 0)
-        return dict(self._rows.get(i, {}))
+        row = self._rows.get(i)
+        if row is None:
+            diagonal = self._diag[i]
+            if diagonal != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+                return {i: float(diagonal)}
+            return {}
+        n = row.n
+        return dict(zip(row.idx[:n].tolist(), row.val[:n].tolist()))
+
+    def row_view(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row ``i`` as ``(indices, values)`` arrays sorted by column.
+
+        Materialized rows return *views* into the live storage — copy
+        before mutating the matrix.  Implicit-diagonal rows return fresh
+        one-element (or empty) arrays.
+        """
+        self._check_index(i, 0)
+        row = self._rows.get(i)
+        if row is None:
+            diagonal = self._diag[i]
+            if diagonal != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+                return (
+                    np.array([i], dtype=np.int64),
+                    np.array([diagonal], dtype=np.float64),
+                )
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        return row.idx[: row.n], row.val[: row.n]
 
     def column(self, j: int) -> Dict[int, float]:
-        """Non-zero entries of column ``j`` (a copy)."""
+        """Non-zero entries of column ``j`` (a copy, in row order)."""
         self._check_index(0, j)
-        rows = self._col_index.get(j, ())
-        return {i: self._rows[i][j] for i in rows if j in self._rows.get(i, {})}
+        result: Dict[int, float] = {}
+        for i in self.rows_with_column(j):
+            result[i] = self.get(i, j)
+        return result
 
+    def rows_with_column(self, j: int) -> List[int]:
+        """Sorted rows holding a stored entry in column ``j``.
+
+        This is the support of ``B e_j`` — exactly the set of rows whose
+        ``theta`` entry can change when column ``j`` (or ``z[j]``) does,
+        which is what the dirty-row cache invalidates.
+        """
+        self._check_index(0, j)
+        rows = sorted(self._cols.get(j, ()))
+        if j not in self._rows and self._diag[j] != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+            rows.append(j)
+            rows.sort()
+        return rows
+
+    # ------------------------------------------------------------------
+    # Dot products
+    # ------------------------------------------------------------------
     def row_dot(self, i: int, vector: Dict[int, float]) -> float:
-        """Dot product of row ``i`` with a sparse vector."""
+        """Dot product of row ``i`` with a sparse (dict) vector."""
+        self._check_index(i, 0)
         row = self._rows.get(i)
-        if not row:
+        if row is None:
+            diagonal = self._diag[i]
+            if diagonal != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+                return float(diagonal * vector.get(i, 0.0))
             return 0.0
-        if len(row) <= len(vector):
-            return sum(v * vector.get(j, 0.0) for j, v in row.items())
-        return sum(row.get(j, 0.0) * v for j, v in vector.items())
+        n = row.n
+        if n == 0:
+            return 0.0
+        gathered = np.fromiter(
+            (vector.get(j, 0.0) for j in row.idx[:n].tolist()),
+            dtype=np.float64,
+            count=n,
+        )
+        return float(np.dot(row.val[:n], gathered))
 
+    def row_dot_dense(self, i: int, dense_vector: np.ndarray) -> float:
+        """Dot product of row ``i`` with a dense operand — the hot path.
+
+        One fancy-index gather plus one BLAS dot; no per-entry Python.
+        """
+        row = self._rows.get(i)
+        if row is None:
+            diagonal = self._diag[i]
+            if diagonal != 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel
+                return float(diagonal * dense_vector[i])
+            return 0.0
+        n = row.n
+        if n == 0:
+            return 0.0
+        return float(np.dot(row.val[:n], dense_vector[row.idx[:n]]))
+
+    # ------------------------------------------------------------------
+    # The Sherman–Morrison core
+    # ------------------------------------------------------------------
     def rank_one_update(
         self, col: Dict[int, float], row: Dict[int, float], scale: float
     ) -> None:
-        """``B += scale * col (x) row`` — the Sherman–Morrison core.
+        """``B += scale * col (x) row`` — vectorized scatter per touched row.
 
-        Cost is O(nnz(col) * nnz(row)), independent of the dimension.
+        Cost is O(nnz(col) * nnz(row) / simd) plus one Python iteration
+        per *row* touched (never per entry), independent of dimension.
         """
         if scale == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit; any nonzero scale must update
             return
-        for i, ci in col.items():
-            if ci == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit, not a tolerance decision
-                continue
-            factor = scale * ci
-            for j, rj in row.items():
-                if rj == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit, not a tolerance decision
-                    continue
-                self.add(i, j, factor * rj)
+        count = len(row)
+        columns = np.fromiter(row.keys(), dtype=np.int64, count=count)
+        values = np.fromiter(row.values(), dtype=np.float64, count=count)
+        self.rank_one_update_arrays(col, columns, values, scale)
 
+    def rank_one_update_arrays(
+        self,
+        col: Dict[int, float],
+        columns: np.ndarray,
+        values: np.ndarray,
+        scale: float,
+    ) -> None:
+        """:meth:`rank_one_update` with the right factor pre-flattened.
+
+        ``columns``/``values`` need not be sorted or zero-free; both are
+        normalized here once, then every touched row shares the sorted
+        scatter plan.
+        """
+        if scale == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit; any nonzero scale must update
+            return
+        nonzero = values != 0.0  # meghlint: ignore[MEGH003] -- exact-zero short-circuit, not a tolerance decision
+        if not nonzero.all():
+            columns = columns[nonzero]
+            values = values[nonzero]
+        if columns.shape[0] == 0:
+            return
+        order = np.argsort(columns, kind="stable")
+        columns = columns[order]
+        values = values[order]
+        self.mutations += 1
+        for i, weight in col.items():
+            if weight == 0.0:  # meghlint: ignore[MEGH003] -- exact-zero short-circuit, not a tolerance decision
+                continue
+            self._scatter_add(i, columns, (scale * weight) * values)
+
+    def _scatter_add(
+        self, i: int, columns: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Row ``i`` += sparse vector (``columns`` sorted, pre-scaled)."""
+        row = self._rows.get(i)
+        if row is None:
+            row = self._materialize(i)
+        n = row.n
+        stored = row.idx[:n]
+        positions = np.searchsorted(stored, columns)
+        in_range = positions < n
+        exists = np.zeros(columns.shape[0], dtype=bool)
+        if n:
+            exists[in_range] = stored[positions[in_range]] == columns[in_range]
+        if exists.any():
+            hit = positions[exists]
+            row.val[hit] += deltas[exists]
+            dead = hit[np.abs(row.val[hit]) <= PRUNE_EPSILON]
+            if dead.shape[0]:
+                self._remove_positions(i, row, dead)
+                row = self._rows.get(i)
+        fresh = ~exists
+        if fresh.any():
+            alive = np.abs(deltas[fresh]) > PRUNE_EPSILON
+            new_columns = columns[fresh][alive]
+            if new_columns.shape[0]:
+                if row is None:
+                    row = self._materialize(i)
+                new_positions = np.searchsorted(
+                    row.idx[: row.n], new_columns
+                )
+                self._insert_many(
+                    i, row, new_positions, new_columns, deltas[fresh][alive]
+                )
+                return
+        if row is not None and row.n == 0:
+            del self._rows[i]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def nnz(self) -> int:
         """Number of stored non-zero entries — the Q-table size (Fig 7)."""
-        return sum(len(row) for row in self._rows.values())
+        return self._nnz
 
     def items(self) -> Iterator[Tuple[int, int, float]]:
-        """Iterate ``(i, j, value)`` over stored entries."""
-        for i, row in self._rows.items():
-            for j, value in row.items():
+        """Iterate ``(i, j, value)`` in (row, column) order."""
+        implicit = np.nonzero(self._diag)[0]
+        touched = sorted(set(self._rows).union(implicit.tolist()))
+        for i in touched:
+            row = self._rows.get(i)
+            if row is None:
+                yield (i, i, float(self._diag[i]))
+                continue
+            n = row.n
+            for j, value in zip(row.idx[:n].tolist(), row.val[:n].tolist()):
                 yield (i, j, value)
 
     def to_dense(self) -> np.ndarray:
         """Dense copy — for tests and small ablations only."""
         dense = np.zeros((self.dimension, self.dimension))
-        for i, j, value in self.items():
-            dense[i, j] = value
+        implicit = np.nonzero(self._diag)[0]
+        dense[implicit, implicit] = self._diag[implicit]
+        for i, row in self._rows.items():
+            n = row.n
+            dense[i, row.idx[:n]] = row.val[:n]
         return dense
 
     def copy(self) -> "SparseMatrix":
         """Deep copy."""
         clone = SparseMatrix(self.dimension)
-        for i, j, value in self.items():
-            clone.set(i, j, value)
+        clone._diag = self._diag.copy()
+        for i, row in self._rows.items():
+            duplicate = _Row(capacity=row.idx.shape[0])
+            duplicate.idx[: row.n] = row.idx[: row.n]
+            duplicate.val[: row.n] = row.val[: row.n]
+            duplicate.n = row.n
+            clone._rows[i] = duplicate
+        clone._cols = {j: set(rows) for j, rows in self._cols.items()}
+        clone._nnz = self._nnz
+        clone.mutations = self.mutations
         return clone

@@ -29,6 +29,7 @@ class TestRegistry:
             "MEGH005",
             "MEGH006",
             "MEGH007",
+            "MEGH008",
         ]
 
     def test_every_rule_has_summary_and_severity(self):
@@ -267,3 +268,69 @@ class TestMegh007AdHocParallelism:
             findings("from concurrent import interpreters\n", "MEGH007")
             == []
         )
+
+
+class TestMegh008FullDimensionScan:
+    CORE_PATH = "src/repro/core/lstd.py"
+
+    @staticmethod
+    def path_findings(source: str, path: str):
+        result = lint_source(
+            source, path=path, config=LintConfig(select=["MEGH008"])
+        )
+        return result.diagnostics
+
+    def test_flags_range_dimension_loop_in_core(self):
+        source = (
+            "def theta(self):\n"
+            "    for i in range(self.dimension):\n"
+            "        self.q_value(i)\n"
+        )
+        hits = self.path_findings(source, self.CORE_PATH)
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "O(d)" in hits[0].message
+
+    def test_flags_bare_dimension_name(self):
+        source = (
+            "def scan(dimension):\n"
+            "    for i in range(dimension):\n"
+            "        print(i)\n"
+        )
+        assert len(self.path_findings(source, self.CORE_PATH)) == 1
+
+    def test_flags_range_with_start_and_step(self):
+        source = (
+            "def scan(m):\n"
+            "    for i in range(0, m.dimension, 2):\n"
+            "        print(i)\n"
+        )
+        assert len(self.path_findings(source, self.CORE_PATH)) == 1
+
+    def test_non_core_paths_exempt(self):
+        source = (
+            "def scan(m):\n"
+            "    for i in range(m.dimension):\n"
+            "        print(i)\n"
+        )
+        assert self.path_findings(source, "src/repro/harness/run.py") == []
+        assert findings(source, "MEGH008") == []
+
+    def test_allows_sparse_support_iteration(self):
+        source = (
+            "def theta(self):\n"
+            "    for j in self.z:\n"
+            "        rows = self.B.rows_with_column(j)\n"
+            "    for i in range(10):\n"
+            "        pass\n"
+        )
+        assert self.path_findings(source, self.CORE_PATH) == []
+
+    def test_suppression_comment_is_honoured(self):
+        source = (
+            "def dense_scan(self):\n"
+            "    for i in range(self.dimension):  "
+            "# meghlint: ignore[MEGH008] -- deliberate dense ablation\n"
+            "        print(i)\n"
+        )
+        assert self.path_findings(source, self.CORE_PATH) == []

@@ -1,0 +1,104 @@
+"""Golden decision-trace scenarios shared by the recorder and the tests.
+
+A *golden trace* pins down the exact sequence of migrations a fixed-seed
+Megh run produces on the synthetic PlanetLab workload.  The committed
+fixtures under ``tests/core/fixtures/`` were recorded with the
+dict-of-dicts numerical core that predates the vectorized
+``SparseMatrix``/``SparseLstd`` rewrite; the regression tests assert the
+vectorized core reproduces them *decision for decision*, which is the
+strongest observable-behaviour guarantee available — every Q-value the
+agent ranks feeds into this sequence.
+
+Re-record (only when a deliberate behaviour change is intended) with::
+
+    PYTHONPATH=src python -m tests.core.golden_scenarios --record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, List
+
+GOLDEN_SEEDS = (0, 1, 2)
+
+#: One scenario: small enough to replay in seconds, big enough that the
+#: agent performs dozens of migrations and ``B`` accumulates fill-in.
+SCENARIO = {
+    "workload": "planetlab-synthetic",
+    "num_pms": 10,
+    "num_vms": 14,
+    "num_steps": 150,
+}
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture_path(seed: int) -> str:
+    return os.path.join(FIXTURE_DIR, f"golden_trace_seed{seed}.json")
+
+
+def run_golden_scenario(seed: int) -> Dict:
+    """Run the fixed-seed scenario and flatten its decision trace.
+
+    Contracts are explicitly disabled so the payload is independent of
+    the ``REPRO_CONTRACTS`` environment toggle (a separate integration
+    test proves contracts never perturb trajectories).
+    """
+    from repro.core.agent import MeghScheduler
+    from repro.core.trace import DecisionTrace
+    from repro.harness.builders import build_planetlab_simulation
+    from repro.harness.runner import run_scheduler
+
+    simulation = build_planetlab_simulation(
+        num_pms=SCENARIO["num_pms"],
+        num_vms=SCENARIO["num_vms"],
+        num_steps=SCENARIO["num_steps"],
+        seed=seed,
+    )
+    scheduler = MeghScheduler.from_simulation(
+        simulation, seed=seed, contracts=False
+    )
+    scheduler.trace = DecisionTrace()
+    result = run_scheduler(simulation, scheduler)
+    migrations: List[List[int]] = []
+    for record in scheduler.trace.records:
+        for vm_id, dest_pm_id in record.chosen:
+            migrations.append([record.step, vm_id, dest_pm_id])
+    return {
+        "scenario": dict(SCENARIO),
+        "seed": seed,
+        "migrations": migrations,
+        "total_migrations": result.total_migrations,
+        "total_cost_usd": result.total_cost_usd,
+        "q_table_nonzeros": scheduler.lstd.q_table_nonzeros,
+    }
+
+
+def record_fixtures() -> None:
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    for seed in GOLDEN_SEEDS:
+        payload = run_golden_scenario(seed)
+        path = fixture_path(seed)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"recorded {path}: {payload['total_migrations']} migrations, "
+            f"{payload['q_table_nonzeros']} B non-zeros"
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the committed golden fixtures in place",
+    )
+    arguments = parser.parse_args()
+    if arguments.record:
+        record_fixtures()
+    else:
+        parser.print_help()

@@ -226,3 +226,49 @@ class TestPreferredHosts:
             agent.preferred_hosts(9)
         with _pytest.raises(ConfigurationError):
             agent.preferred_hosts(0, top_k=0)
+
+
+class TestTraceQReuse:
+    """Satellite: the trace branch reuses selection's Q values instead of
+    recomputing them through the LSTD core."""
+
+    @staticmethod
+    def _run(trace):
+        from repro.harness.builders import build_planetlab_simulation
+        from repro.harness.runner import run_scheduler
+
+        simulation = build_planetlab_simulation(
+            num_pms=6, num_vms=9, num_steps=40, seed=5
+        )
+        scheduler = MeghScheduler.from_simulation(
+            simulation, seed=5, contracts=False
+        )
+        scheduler.trace = trace
+        result = run_scheduler(simulation, scheduler)
+        evaluations = (
+            scheduler.lstd.theta_cache_hits
+            + scheduler.lstd.theta_cache_misses
+        )
+        return scheduler, result, evaluations
+
+    def test_tracing_adds_no_q_evaluations(self):
+        from repro.core.trace import DecisionTrace
+
+        _, result_off, evals_off = self._run(trace=None)
+        scheduler, result_on, evals_on = self._run(trace=DecisionTrace())
+        # Identical runs (same seed), so identical behaviour...
+        assert result_on.total_migrations == result_off.total_migrations
+        assert result_on.total_cost_usd == result_off.total_cost_usd
+        # ...and tracing must be observation-only: zero extra Q lookups.
+        assert evals_on == evals_off
+
+    def test_traced_q_matches_selection_values(self):
+        from repro.core.trace import DecisionTrace
+
+        scheduler, _, _ = self._run(trace=DecisionTrace())
+        records = scheduler.trace.records
+        assert any(record.chosen for record in records)
+        for record in records:
+            assert len(record.chosen_q) == len(record.chosen)
+            for value in record.chosen_q:
+                assert isinstance(value, float)

@@ -1,0 +1,158 @@
+"""Dirty-row theta cache and batched ``q_values`` behaviour.
+
+The cache is pure memoization: every test here asserts *bit-identical*
+values between cached and freshly computed Q, because the golden-trace
+fence (``test_golden_trace.py``) only holds if memoization never changes
+a single ulp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lstd import SparseLstd
+from repro.errors import ConfigurationError
+
+
+def filled_lstd(dimension: int = 64, updates: int = 120, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    lstd = SparseLstd(dimension=dimension, gamma=0.5)
+    for _ in range(updates):
+        lstd.update(
+            int(rng.integers(0, dimension)),
+            int(rng.integers(0, dimension)),
+            float(rng.normal()),
+        )
+    return lstd
+
+
+class TestThetaCache:
+    def test_repeated_q_value_hits_cache(self):
+        lstd = filled_lstd()
+        first = lstd.q_value(5)
+        hits_before = lstd.theta_cache_hits
+        second = lstd.q_value(5)
+        assert second == first
+        assert lstd.theta_cache_hits == hits_before + 1
+
+    def test_cached_value_is_bit_identical_to_fresh(self):
+        lstd = filled_lstd()
+        cached = [lstd.q_value(i) for i in range(lstd.dimension)]
+        lstd.invalidate_theta_cache()
+        fresh = [lstd.q_value(i) for i in range(lstd.dimension)]
+        assert cached == fresh
+
+    def test_update_invalidates_touched_rows(self):
+        lstd = filled_lstd()
+        for i in range(lstd.dimension):
+            lstd.q_value(i)
+        lstd.update(3, 7, 0.25)
+        # Every currently-fresh row must still agree with a recompute —
+        # the dirty-row invariant, checked exactly.
+        assert lstd.verify_theta_cache() == []
+
+    def test_verify_after_many_interleaved_reads_and_updates(self):
+        rng = np.random.default_rng(11)
+        lstd = SparseLstd(dimension=48, gamma=0.5)
+        for step in range(200):
+            lstd.update(
+                int(rng.integers(0, 48)),
+                int(rng.integers(0, 48)),
+                float(rng.normal()),
+            )
+            lstd.q_value(int(rng.integers(0, 48)))
+            if step % 25 == 0:
+                assert lstd.verify_theta_cache() == []
+        assert lstd.verify_theta_cache() == []
+
+    def test_skipped_update_still_invalidates_z_rows(self):
+        # gamma=0 and a self-transition can't skip, so force a skip via
+        # a near-singular denominator is hard to stage; instead check
+        # the documented behaviour directly: after any update (applied
+        # or skipped), the cache verifies clean.
+        lstd = filled_lstd()
+        for i in range(lstd.dimension):
+            lstd.q_value(i)
+        skipped_before = lstd.updates_skipped
+        lstd.update(0, 0, 1.0)
+        assert lstd.verify_theta_cache() == []
+        assert lstd.updates_skipped >= skipped_before
+
+    def test_external_b_write_invalidates(self):
+        lstd = filled_lstd()
+        for i in range(lstd.dimension):
+            lstd.q_value(i)
+        lstd.B.set(2, 3, lstd.B.get(2, 3) + 0.5)
+        assert lstd.verify_theta_cache() == []
+        lstd.invalidate_theta_cache()
+        assert lstd.q_value(2) == lstd.B.row_dot(2, dict(lstd.z))
+
+    def test_external_z_write_invalidates(self):
+        lstd = filled_lstd()
+        for i in range(lstd.dimension):
+            lstd.q_value(i)
+        lstd.z[4] = 123.0
+        assert lstd.verify_theta_cache() == []
+        expected = lstd.B.row_dot(7, dict(lstd.z))
+        assert lstd.q_value(7) == expected
+
+
+class TestBatchedQValues:
+    def test_matches_scalar_q_value(self):
+        lstd = filled_lstd()
+        indices = [0, 5, 9, 5, 63]
+        batch = lstd.q_values(indices)
+        assert isinstance(batch, np.ndarray)
+        assert batch.shape == (len(indices),)
+        scalar = [lstd.q_value(i) for i in indices]
+        assert batch.tolist() == scalar
+
+    def test_empty_batch(self):
+        lstd = filled_lstd()
+        assert lstd.q_values([]).shape == (0,)
+
+    def test_out_of_range_raises(self):
+        lstd = filled_lstd()
+        with pytest.raises(ConfigurationError, match="out of range"):
+            lstd.q_values([0, lstd.dimension])
+        with pytest.raises(ConfigurationError, match="out of range"):
+            lstd.q_values([-1])
+
+    def test_batch_result_is_a_copy(self):
+        lstd = filled_lstd()
+        batch = lstd.q_values([1, 2, 3])
+        batch[0] = 999.0
+        assert lstd.q_value(1) != 999.0 or lstd.q_values([1])[0] != 999.0
+
+    def test_duplicate_indices_counted_once_as_miss(self):
+        lstd = filled_lstd()
+        lstd.invalidate_theta_cache()
+        misses_before = lstd.theta_cache_misses
+        lstd.q_values([8, 8, 8, 8])
+        assert lstd.theta_cache_misses == misses_before + 1
+
+
+class TestThetaSparseScan:
+    def test_theta_matches_old_dense_loop_on_random_instance(self):
+        """Satellite: the column-index scan equals the historical O(d)
+        full-dimension loop, bitwise."""
+        lstd = filled_lstd(dimension=96, updates=250, seed=17)
+        sparse_scan = lstd.theta()
+        dense_loop = np.zeros(lstd.dimension)
+        z = dict(lstd.z)
+        for i in range(lstd.dimension):
+            dense_loop[i] = lstd.B.row_dot(i, z)
+        assert sparse_scan.shape == dense_loop.shape
+        assert np.array_equal(sparse_scan, dense_loop)
+
+    def test_theta_on_fresh_learner_is_zero(self):
+        lstd = SparseLstd(dimension=32, gamma=0.5)
+        assert np.array_equal(lstd.theta(), np.zeros(32))
+
+    def test_theta_after_single_update(self):
+        lstd = SparseLstd(dimension=16, gamma=0.0)
+        lstd.update(3, 3, 2.0)
+        theta = lstd.theta()
+        assert theta[3] == lstd.q_value(3)
+        assert np.count_nonzero(theta) >= 1
