@@ -16,7 +16,11 @@ Each rule targets a way a change could silently break the reproduction:
 * **MEGH008** — a ``for ... in range(<x>.dimension)`` loop in the
   numerical core scans all ``d = N x M`` one-hot coordinates, breaking
   the Section-5.2 claim that per-step work tracks the non-zeros
-  actually touched.
+  actually touched;
+* **MEGH009** — a per-entity ``for vm in ...vms`` / ``for pm in ...pms``
+  loop in the simulator (``repro/cloudsim/``) is O(N) Python per call
+  where the struct-of-arrays rewrite promises one vector pass; hot-path
+  fleet iteration belongs in :mod:`repro.cloudsim.soa` expressions.
 
 Rules are registered in :data:`RULE_REGISTRY` and run by
 :mod:`repro.analysis.engine`.  Suppress a finding on its line with
@@ -642,6 +646,96 @@ class FullDimensionScanRule(Rule):
                     "annotate a deliberate dense scan with "
                     "'# meghlint: ignore[MEGH008] -- reason'",
                 )
+
+
+# ----------------------------------------------------------------------
+# MEGH009 — per-entity fleet loops in the simulator
+# ----------------------------------------------------------------------
+
+_FLEET_ATTRIBUTES = {"vms", "pms", "_vms", "_pms"}
+
+#: Wrappers whose first argument is the real iterable.
+_ITERATION_WRAPPERS = {"enumerate", "sorted", "list", "tuple", "reversed"}
+
+#: Dict-view methods: ``accountant.vms.values()`` still walks the fleet.
+_DICT_VIEW_METHODS = {"values", "keys", "items"}
+
+
+def _is_cloudsim_path(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    if normalized.endswith("repro/cloudsim/reference.py"):
+        return False  # the retained pre-rewrite oracle is loops on purpose
+    return "repro/cloudsim/" in normalized
+
+
+def _fleet_attribute(node: ast.AST) -> Optional[str]:
+    """The ``vms``/``pms`` attribute an iterable expression walks, if any.
+
+    Unwraps ``enumerate()``/``sorted()``-style wrappers and
+    ``.values()``/``.items()`` dict views so that
+    ``sorted(self._vms)``, ``enumerate(datacenter.pms)`` and
+    ``self.vms.values()`` all resolve to their fleet attribute.
+    """
+    if isinstance(node, ast.Attribute):
+        if node.attr in _FLEET_ATTRIBUTES:
+            return node.attr
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ITERATION_WRAPPERS
+            and node.args
+        ):
+            return _fleet_attribute(node.args[0])
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_VIEW_METHODS
+        ):
+            return _fleet_attribute(func.value)
+    return None
+
+
+@register
+class PerEntityFleetLoopRule(Rule):
+    """MEGH009: Python-level fleet loops defeat the SoA simulator core."""
+
+    rule_id = "MEGH009"
+    severity = Severity.ERROR
+    summary = (
+        "per-entity vm/pm loops in repro/cloudsim are O(N) Python per "
+        "step; express fleet-wide work as DatacenterArrays vector "
+        "operations (cold paths: suppress with a reason)"
+    )
+
+    _MESSAGE = (
+        "loop over {attribute!r} walks the fleet one entity at a time — "
+        "O(N) Python in code the struct-of-arrays rewrite vectorized; "
+        "use DatacenterArrays expressions for per-step work, or mark a "
+        "deliberate cold/compat path with "
+        "'# meghlint: ignore[MEGH009] -- reason'"
+    )
+
+    def check(self, context: RuleContext) -> Iterator[Diagnostic]:
+        if not _is_cloudsim_path(context.path):
+            return
+        for node in ast.walk(context.tree):
+            iterators: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterators.append(node.iter)
+            elif isinstance(
+                node,
+                (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp),
+            ):
+                iterators.extend(gen.iter for gen in node.generators)
+            for iterator in iterators:
+                attribute = _fleet_attribute(iterator)
+                if attribute is not None:
+                    yield self.diagnostic(
+                        context,
+                        iterator,
+                        self._MESSAGE.format(attribute=attribute),
+                    )
 
 
 def build_rules(

@@ -5,13 +5,30 @@ feasibility on placement, and computes per-step delivered CPU: when a
 host's aggregate demand exceeds its capacity, every VM on it is scaled
 down proportionally (fair sharing), which is what makes hosts "overloaded"
 in the SLA sense of Section 3.3.
+
+Since the struct-of-arrays rewrite, the hot state lives in
+:class:`~repro.cloudsim.soa.DatacenterArrays` (``host_of``, per-VM
+demand/delivered vectors, lazily-rebuilt per-PM aggregates) and the
+per-step operations — :meth:`share_cpu`, overload detection, active-host
+queries — run as whole-fleet NumPy expressions.  The object model
+(:class:`~repro.cloudsim.vm.VirtualMachine` /
+:class:`~repro.cloudsim.pm.PhysicalMachine`) is a thin view over the
+arrays, and the legacy ``dict``/``set`` placement index is still
+maintained incrementally so the public API (``vms_on``, ``placement``,
+iteration order included) is exactly what it was before the rewrite.
+The retained pre-rewrite implementation lives in
+:mod:`repro.cloudsim.reference` and is held bit-for-bit equal by
+``tests/cloudsim/test_vectorized_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.soa import DatacenterArrays
 from repro.cloudsim.vm import VirtualMachine
 from repro.errors import CapacityError, UnknownEntityError
 
@@ -22,24 +39,41 @@ class Datacenter:
     Args:
         pms: the physical machines, with dense ids ``0..M-1``.
         vms: the virtual machines, with dense ids ``0..N-1``.
+        migration_overhead_fraction: CPU share a migrating VM loses to
+            the copy process when :meth:`share_cpu` is asked to charge
+            it in one shot (``DatacenterConfig.migration_overhead_fraction``;
+            the simulation driver plumbs the configured value through).
 
     The data center starts with every VM unplaced; use
     :meth:`place` (or an allocation policy from
     :mod:`repro.cloudsim.allocation`) to build the initial configuration.
+
+    Binding note: constructing a ``Datacenter`` moves the dynamic state
+    of the given VMs/PMs into its arrays; sharing entity objects between
+    two live datacenters is not supported (the last bind wins).
     """
 
     def __init__(
-        self, pms: Sequence[PhysicalMachine], vms: Sequence[VirtualMachine]
+        self,
+        pms: Sequence[PhysicalMachine],
+        vms: Sequence[VirtualMachine],
+        migration_overhead_fraction: float = 0.10,
     ) -> None:
         self._pms: List[PhysicalMachine] = list(pms)
         self._vms: List[VirtualMachine] = list(vms)
         self._check_dense_ids()
         self._host_of: Dict[int, int] = {}
-        self._vms_on: Dict[int, Set[int]] = {pm.pm_id: set() for pm in self._pms}
+        self._vms_on: Dict[int, Set[int]] = {pm.pm_id: set() for pm in self._pms}  # meghlint: ignore[MEGH009] -- one-time construction
+        self.migration_overhead_fraction = migration_overhead_fraction
+        self.arrays = DatacenterArrays(len(self._vms), len(self._pms))
+        for vm in self._vms:  # meghlint: ignore[MEGH009] -- one-time binding at construction
+            vm._bind(self.arrays, vm.vm_id)
+        for pm in self._pms:  # meghlint: ignore[MEGH009] -- one-time binding at construction
+            pm._bind(self.arrays, pm.pm_id)
 
     def _check_dense_ids(self) -> None:
-        pm_ids = sorted(pm.pm_id for pm in self._pms)
-        vm_ids = sorted(vm.vm_id for vm in self._vms)
+        pm_ids = sorted(pm.pm_id for pm in self._pms)  # meghlint: ignore[MEGH009] -- one-time construction
+        vm_ids = sorted(vm.vm_id for vm in self._vms)  # meghlint: ignore[MEGH009] -- one-time construction
         if pm_ids != list(range(len(self._pms))):
             raise UnknownEntityError("PM ids must be dense 0..M-1")
         if vm_ids != list(range(len(self._vms))):
@@ -98,7 +132,9 @@ class Datacenter:
     # ------------------------------------------------------------------
     def ram_used_mb(self, pm_id: int) -> float:
         """RAM committed to VMs on the host."""
-        return sum(self._vms[j].ram_mb for j in self._vms_on[pm_id])
+        if not 0 <= pm_id < len(self._pms):
+            raise KeyError(pm_id)
+        return float(self.arrays.pm_ram_used_mb()[pm_id])
 
     def ram_free_mb(self, pm_id: int) -> float:
         """RAM still available on the host."""
@@ -106,7 +142,9 @@ class Datacenter:
 
     def demanded_mips(self, pm_id: int) -> float:
         """Aggregate MIPS demanded by workloads on the host this step."""
-        return sum(self._vms[j].demanded_mips for j in self._vms_on[pm_id])
+        if not 0 <= pm_id < len(self._pms):
+            raise KeyError(pm_id)
+        return float(self.arrays.pm_demand_mips()[pm_id])
 
     def demanded_utilization(self, pm_id: int) -> float:
         """Demanded load as a fraction of host capacity (can exceed 1)."""
@@ -114,9 +152,7 @@ class Datacenter:
 
     def delivered_utilization(self, pm_id: int) -> float:
         """Delivered load fraction after fair sharing (capped at 1)."""
-        delivered = sum(
-            self._vms[j].delivered_mips for j in self._vms_on[pm_id]
-        )
+        delivered = float(self.arrays.pm_delivered_mips()[pm_id])
         return min(1.0, delivered / self.pm(pm_id).mips)
 
     def fits(self, vm_id: int, pm_id: int) -> bool:
@@ -128,11 +164,11 @@ class Datacenter:
 
     def active_pm_ids(self) -> List[int]:
         """Hosts that currently serve at least one VM."""
-        return [pm_id for pm_id, vms in self._vms_on.items() if vms]
+        return np.flatnonzero(self.arrays.active_pm_mask()).tolist()
 
     def num_active_hosts(self) -> int:
         """Count of hosts serving at least one VM."""
-        return len(self.active_pm_ids())
+        return int(np.count_nonzero(self.arrays.active_pm_mask()))
 
     # ------------------------------------------------------------------
     # Placement mutation
@@ -153,6 +189,9 @@ class Datacenter:
         pm.wake()
         self._host_of[vm_id] = pm_id
         self._vms_on[pm_id].add(vm_id)
+        self.arrays.host_of[vm_id] = pm_id
+        self.arrays.pm_vm_count[pm_id] += 1
+        self.arrays.mark_placement_dirty()
 
     def remove(self, vm_id: int) -> int:
         """Unplace a VM; returns the PM id it was removed from."""
@@ -160,6 +199,9 @@ class Datacenter:
             raise UnknownEntityError(f"VM {vm_id} is not placed")
         pm_id = self._host_of.pop(vm_id)
         self._vms_on[pm_id].discard(vm_id)
+        self.arrays.host_of[vm_id] = -1
+        self.arrays.pm_vm_count[pm_id] -= 1
+        self.arrays.mark_placement_dirty()
         return pm_id
 
     def move(self, vm_id: int, dest_pm_id: int) -> int:
@@ -183,12 +225,10 @@ class Datacenter:
 
     def sleep_idle_hosts(self) -> List[int]:
         """Put every empty host to sleep; returns the ids put to sleep."""
-        slept = []
-        for pm in self._pms:
-            if not self._vms_on[pm.pm_id] and not pm.asleep:
-                pm.sleep()
-                slept.append(pm.pm_id)
-        return slept
+        arrays = self.arrays
+        idle = np.flatnonzero(~arrays.active_pm_mask() & ~arrays.pm_asleep)
+        arrays.pm_asleep[idle] = True
+        return idle.tolist()
 
     # ------------------------------------------------------------------
     # CPU sharing
@@ -199,41 +239,55 @@ class Datacenter:
         Each host grants demand in full when total demand fits its
         capacity, and scales all demands by ``capacity / demand``
         otherwise (proportional fair sharing).  VMs in ``migrating_vm_ids``
-        additionally lose ``migration_overhead`` of their demand — applied
-        by the :class:`repro.cloudsim.migration.MigrationEngine`, which
-        passes in-flight VMs here.
+        additionally lose :attr:`migration_overhead_fraction` of their
+        demand — normally applied by the
+        :class:`repro.cloudsim.migration.MigrationEngine`, which passes
+        in-flight VMs to :meth:`apply_migration_overhead` itself; the
+        parameter here serves callers that want one-shot sharing.
         """
         migrating = set(migrating_vm_ids)
-        for pm in self._pms:
-            hosted = self._vms_on[pm.pm_id]
-            if not hosted:
-                continue
-            total_demand = sum(self._vms[j].demanded_mips for j in hosted)
-            if total_demand <= pm.mips or total_demand <= 0.0:
-                scale = 1.0
-            else:
-                scale = pm.mips / total_demand
-            for j in hosted:
-                vm = self._vms[j]
-                delivered = vm.demanded_utilization * scale
-                vm.delivered_utilization = delivered
-        # Unplaced VMs receive nothing.
-        for vm in self._vms:
-            if vm.vm_id not in self._host_of:
-                vm.delivered_utilization = 0.0
-        # ``migrating`` overhead is charged by the migration engine via
-        # apply_migration_overhead; the parameter is accepted here for
-        # callers that want one-shot sharing.
+        arrays = self.arrays
+        total_demand = arrays.pm_demand_mips()
+        # scale = capacity / demand on oversubscribed hosts, 1 elsewhere.
+        # (demand > capacity > 0 implies demand > 0, so the reference
+        # implementation's "demand <= 0" guard is subsumed.)
+        scale = np.ones(arrays.num_pms, dtype=np.float64)
+        oversubscribed = total_demand > arrays.pm_mips
+        np.divide(
+            arrays.pm_mips, total_demand, out=scale, where=oversubscribed
+        )
+        placed = arrays.host_of >= 0
+        # Unplaced VMs receive nothing; host_of is -1 there, so mask the
+        # gathered scale before it is used.
+        np.multiply(
+            arrays.vm_demand,
+            scale[arrays.host_of],
+            out=arrays.vm_delivered,
+            where=placed,
+        )
+        arrays.vm_delivered[~placed] = 0.0
+        arrays.mark_delivered_dirty()
         if migrating:
             self.apply_migration_overhead(migrating)
 
     def apply_migration_overhead(
-        self, vm_ids: Iterable[int], overhead_fraction: float = 0.10
+        self, vm_ids: Iterable[int], overhead_fraction: Optional[float] = None
     ) -> None:
-        """Reduce delivered CPU of in-flight VMs by the migration overhead."""
+        """Reduce delivered CPU of in-flight VMs by the migration overhead.
+
+        ``overhead_fraction`` defaults to the datacenter's configured
+        :attr:`migration_overhead_fraction` (historically this default
+        was a hardcoded ``0.10``, silently ignoring the configured
+        value).
+        """
+        if overhead_fraction is None:
+            overhead_fraction = self.migration_overhead_fraction
+        arrays = self.arrays
+        keep = 1.0 - overhead_fraction
         for vm_id in vm_ids:
-            vm = self.vm(vm_id)
-            vm.delivered_utilization *= 1.0 - overhead_fraction
+            self.vm(vm_id)
+            arrays.vm_delivered[vm_id] *= keep
+        arrays.mark_delivered_dirty()
 
     def is_overloaded(self, pm_id: int, beta: float) -> bool:
         """Whether the host's demanded load exceeds the ``beta`` threshold."""
@@ -241,9 +295,9 @@ class Datacenter:
 
     def bandwidth_demanded_mbps(self, pm_id: int) -> float:
         """Aggregate network bandwidth demanded on the host this step."""
-        return sum(
-            self._vms[j].demanded_bandwidth_mbps for j in self._vms_on[pm_id]
-        )
+        if not 0 <= pm_id < len(self._pms):
+            raise KeyError(pm_id)
+        return float(self.arrays.pm_bw_demand_mbps()[pm_id])
 
     def bandwidth_demanded_utilization(self, pm_id: int) -> float:
         """Demanded network load as a fraction of host link capacity."""
@@ -258,15 +312,5 @@ class Datacenter:
     ) -> List[int]:
         """Hosts overloaded on CPU — or, when ``bandwidth_threshold`` is
         given, on the network dimension as well (multi-resource mode)."""
-        overloaded = []
-        for pm in self._pms:
-            if not self._vms_on[pm.pm_id]:
-                continue
-            if self.is_overloaded(pm.pm_id, beta) or (
-                bandwidth_threshold is not None
-                and self.is_bandwidth_overloaded(
-                    pm.pm_id, bandwidth_threshold
-                )
-            ):
-                overloaded.append(pm.pm_id)
-        return overloaded
+        mask = self.arrays.overloaded_pm_mask(beta, bandwidth_threshold)
+        return np.flatnonzero(mask).tolist()

@@ -5,17 +5,25 @@ cores of a host into one logical CPU with their cumulative MIPS), RAM, and
 a power model.  Placement bookkeeping lives in
 :class:`repro.cloudsim.datacenter.Datacenter`; the PM itself only knows its
 capacities and power curve.
+
+Like :class:`~repro.cloudsim.vm.VirtualMachine`, a PM owned by a
+datacenter is *bound* to the shared
+:class:`~repro.cloudsim.soa.DatacenterArrays`: its ``asleep`` flag then
+lives in the ``pm_asleep`` vector so the vectorized power evaluation and
+the object API always agree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.cloudsim.power import PowerModel
 from repro.errors import ConfigurationError
 
+if TYPE_CHECKING:
+    from repro.cloudsim.soa import DatacenterArrays
 
-@dataclass
+
 class PhysicalMachine:
     """A host in the data center.
 
@@ -28,22 +36,62 @@ class PhysicalMachine:
         asleep: a sleeping host consumes no power and hosts no VMs.
     """
 
-    pm_id: int
-    mips: float
-    ram_mb: float
-    bandwidth_mbps: float
-    power_model: PowerModel
-    asleep: bool = field(default=False)
-
-    def __post_init__(self) -> None:
-        if self.pm_id < 0:
+    def __init__(
+        self,
+        pm_id: int,
+        mips: float,
+        ram_mb: float,
+        bandwidth_mbps: float,
+        power_model: PowerModel,
+        asleep: bool = False,
+    ) -> None:
+        if pm_id < 0:
             raise ConfigurationError("pm_id must be >= 0")
-        if self.mips <= 0:
+        if mips <= 0:
             raise ConfigurationError("PM mips must be > 0")
-        if self.ram_mb <= 0:
+        if ram_mb <= 0:
             raise ConfigurationError("PM ram must be > 0")
-        if self.bandwidth_mbps <= 0:
+        if bandwidth_mbps <= 0:
             raise ConfigurationError("PM bandwidth must be > 0")
+        self.pm_id = pm_id
+        self.mips = mips
+        self.ram_mb = ram_mb
+        self.bandwidth_mbps = bandwidth_mbps
+        self.power_model = power_model
+        self._arrays: Optional["DatacenterArrays"] = None
+        self._index = -1
+        self._asleep = asleep
+
+    def _bind(self, arrays: "DatacenterArrays", index: int) -> None:
+        """Move this PM's dynamic state into a datacenter's arrays."""
+        arrays.pm_mips[index] = self.mips
+        arrays.pm_ram_mb[index] = self.ram_mb
+        arrays.pm_bandwidth_mbps[index] = self.bandwidth_mbps
+        arrays.pm_asleep[index] = self._asleep
+        self._arrays = arrays
+        self._index = index
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalMachine(pm_id={self.pm_id}, mips={self.mips}, "
+            f"ram_mb={self.ram_mb}, bandwidth_mbps={self.bandwidth_mbps}, "
+            f"power_model={self.power_model!r}, asleep={self.asleep})"
+        )
+
+    @property
+    def asleep(self) -> bool:
+        arrays = self._arrays
+        if arrays is None:
+            return self._asleep
+        return bool(arrays.pm_asleep[self._index])
+
+    @asleep.setter
+    def asleep(self, value: bool) -> None:
+        arrays = self._arrays
+        if arrays is None:
+            self._asleep = value
+        else:
+            arrays.pm_asleep[self._index] = value
 
     def power(self, utilization: float) -> float:
         """Instantaneous power draw at ``utilization``; 0 W while asleep."""

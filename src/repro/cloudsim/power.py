@@ -10,13 +10,22 @@ idle + proportional model, useful for ablations and synthetic hosts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Protocol, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
 
 class PowerModel(Protocol):
-    """Maps a CPU utilization fraction in ``[0, 1]`` to power in watts."""
+    """Maps a CPU utilization fraction in ``[0, 1]`` to power in watts.
+
+    Models may additionally provide ``power_batch(utilizations)``
+    returning a vector of draws bit-identical to calling ``power`` on
+    each element; the vectorized energy accounting uses it when present
+    and falls back to the scalar method otherwise.
+    """
 
     def power(self, utilization: float) -> float:
         """Return the instantaneous power draw at the given utilization."""
@@ -66,6 +75,31 @@ class SpecPowerModel:
         frac = u - low
         return self.watts[low] * (1.0 - frac) + self.watts[low + 1] * frac
 
+    @cached_property
+    def _watts_array(self) -> np.ndarray:
+        return np.asarray(self.watts, dtype=np.float64)
+
+    def power_batch(self, utilizations: np.ndarray) -> np.ndarray:
+        """Vectorized ``power``; bit-identical to the scalar formula.
+
+        Same operation sequence as :meth:`power` — clamp, scale by 10,
+        truncate, interpolate — applied elementwise, so each output
+        equals the scalar call on the same input down to the last bit.
+        """
+        u = np.clip(np.asarray(utilizations, dtype=np.float64), 0.0, 1.0) * 10.0
+        low = u.astype(np.int64)
+        watts = self._watts_array
+        out = np.empty_like(u)
+        saturated = low >= 10
+        out[saturated] = watts[10]
+        rest = ~saturated
+        low_rest = low[rest]
+        frac = u[rest] - low_rest
+        out[rest] = (
+            watts[low_rest] * (1.0 - frac) + watts[low_rest + 1] * frac
+        )
+        return out
+
     @property
     def idle_power(self) -> float:
         """Power draw of an empty-but-awake host."""
@@ -91,6 +125,11 @@ class LinearPowerModel:
 
     def power(self, utilization: float) -> float:
         u = _clamp_unit(utilization)
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * u
+
+    def power_batch(self, utilizations: np.ndarray) -> np.ndarray:
+        """Vectorized ``power``; bit-identical to the scalar formula."""
+        u = np.clip(np.asarray(utilizations, dtype=np.float64), 0.0, 1.0)
         return self.idle_watts + (self.peak_watts - self.idle_watts) * u
 
     @property

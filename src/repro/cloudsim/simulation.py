@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.cloudsim.datacenter import Datacenter
 from repro.cloudsim.metrics import MetricsCollector, StepMetrics
 from repro.cloudsim.migration import MigrationEngine
@@ -27,7 +29,7 @@ from repro.cloudsim.monitor import UtilizationMonitor
 from repro.cloudsim.sla import SlaAccountant
 from repro.config import SimulationConfig
 from repro.costs.model import OperationCostModel
-from repro.errors import CapacityError, ConfigurationError, SchedulerError
+from repro.errors import ConfigurationError, SchedulerError
 from repro.mdp.interfaces import Observation, Scheduler
 from repro.mdp.state import observe_state
 from repro.workloads.base import Workload
@@ -134,24 +136,27 @@ class Simulation:
         #: exercise the provisioning path instead of holding idle
         #: reservations.
         self.dynamic_provisioning = dynamic_provisioning
-        #: VMs awaiting capacity under dynamic provisioning.
+        #: VMs awaiting capacity under dynamic provisioning, in arrival
+        #: order; the companion set makes membership checks O(1).
         self.pending_vm_ids: list[int] = []
+        self._pending_set: set[int] = set()
         self.monitor = UtilizationMonitor(history_length=monitor_history)
         self._initial_placement = datacenter.placement()
 
     def reset(self) -> None:
         """Restore the initial placement so another scheduler can run."""
-        for vm in self.datacenter.vms:
+        for vm in self.datacenter.vms:  # meghlint: ignore[MEGH009] -- cold path: runs once per scheduler, not per step
             if self.datacenter.is_placed(vm.vm_id):
                 self.datacenter.remove(vm.vm_id)
             vm.set_active(True)
             vm.set_demand(0.0)
             vm.delivered_utilization = 0.0
-        for pm in self.datacenter.pms:
+        for pm in self.datacenter.pms:  # meghlint: ignore[MEGH009] -- cold path: runs once per scheduler, not per step
             pm.wake()
         for vm_id, pm_id in self._initial_placement.items():
             self.datacenter.place(vm_id, pm_id)
         self.pending_vm_ids = []
+        self._pending_set = set()
         self.monitor = UtilizationMonitor(
             history_length=self.monitor.history_length
         )
@@ -195,6 +200,12 @@ class Simulation:
             )
         dc_config = self.config.datacenter
         interval = self.config.interval_seconds
+        # Direct share_cpu(migrating_vm_ids) calls on the datacenter use
+        # its configured overhead, so keep it in sync with the run config
+        # (the engine passes its own overhead explicitly).
+        self.datacenter.migration_overhead_fraction = (
+            dc_config.migration_overhead_fraction
+        )
         engine = MigrationEngine(
             self.datacenter,
             overhead_fraction=dc_config.migration_overhead_fraction,
@@ -315,31 +326,72 @@ class Simulation:
             event_log.emit(step, EventKind.HOST_SLEPT, pm_id=pm_id)
 
     def _apply_workload(self, step: int) -> None:
-        bandwidth_source = getattr(
-            self.workload, "bandwidth_utilization", None
-        )
-        for vm in self.datacenter.vms:
-            active = self.workload.is_active(vm.vm_id, step)
-            vm.set_active(active)
-            if active:
-                vm.set_demand(self.workload.utilization(vm.vm_id, step))
-                if bandwidth_source is not None:
-                    vm.set_bandwidth_demand(
-                        bandwidth_source(vm.vm_id, step)
-                    )
+        arrays = getattr(self.datacenter, "arrays", None)
+        step_source = getattr(self.workload, "step_slice", None)
+        if arrays is not None and step_source is not None:
+            # Batched path: one vector write per quantity.  The workload
+            # matrices were range-validated at construction, so the
+            # per-value checks of set_demand/set_bandwidth_demand are
+            # not repeated here.
+            active, utilization, bandwidth = step_source(step)
+            num_vms = arrays.num_vms
+            active = active[:num_vms]
+            arrays.vm_active[:] = active
+            inactive = ~active
+            np.copyto(
+                arrays.vm_demand, utilization[:num_vms], where=active
+            )
+            arrays.vm_demand[inactive] = 0.0
+            arrays.vm_delivered[inactive] = 0.0
+            if bandwidth is not None:
+                np.copyto(
+                    arrays.vm_bw_demand, bandwidth[:num_vms], where=active
+                )
+            arrays.vm_bw_demand[inactive] = 0.0
+            arrays.mark_activity_dirty()
+        else:
+            bandwidth_source = getattr(
+                self.workload, "bandwidth_utilization", None
+            )
+            for vm in self.datacenter.vms:  # meghlint: ignore[MEGH009] -- compat path for workloads without step_slice
+                active = self.workload.is_active(vm.vm_id, step)
+                vm.set_active(active)
+                if active:
+                    vm.set_demand(self.workload.utilization(vm.vm_id, step))
+                    if bandwidth_source is not None:
+                        vm.set_bandwidth_demand(
+                            bandwidth_source(vm.vm_id, step)
+                        )
         if self.dynamic_provisioning:
             self._provision(step)
 
     def _provision(self, step: int) -> None:
-        """Deprovision idle VMs; first-fit newly active (or waiting) ones."""
+        """Deprovision idle VMs; first-fit newly active (or waiting) ones.
+
+        The pending queue preserves arrival order (FIFO), with a
+        companion set for O(1) membership tests.
+        """
         del step
-        for vm in self.datacenter.vms:
-            placed = self.datacenter.is_placed(vm.vm_id)
-            if not vm.is_active and placed:
-                self.datacenter.remove(vm.vm_id)
-            elif vm.is_active and not placed:
-                if vm.vm_id not in self.pending_vm_ids:
-                    self.pending_vm_ids.append(vm.vm_id)
+        arrays = getattr(self.datacenter, "arrays", None)
+        if arrays is not None:
+            placed = arrays.host_of >= 0
+            active = arrays.vm_active
+            for vm_id in np.flatnonzero(~active & placed):
+                self.datacenter.remove(int(vm_id))
+            for vm_id in np.flatnonzero(active & ~placed):
+                key = int(vm_id)
+                if key not in self._pending_set:
+                    self.pending_vm_ids.append(key)
+                    self._pending_set.add(key)
+        else:
+            for vm in self.datacenter.vms:  # meghlint: ignore[MEGH009] -- compat path for object-model datacenters
+                placed = self.datacenter.is_placed(vm.vm_id)
+                if not vm.is_active and placed:
+                    self.datacenter.remove(vm.vm_id)
+                elif vm.is_active and not placed:
+                    if vm.vm_id not in self._pending_set:
+                        self.pending_vm_ids.append(vm.vm_id)
+                        self._pending_set.add(vm.vm_id)
         still_pending: list[int] = []
         for vm_id in self.pending_vm_ids:
             vm = self.datacenter.vm(vm_id)
@@ -348,17 +400,38 @@ class Simulation:
             if not self._first_fit(vm_id):
                 still_pending.append(vm_id)
         self.pending_vm_ids = still_pending
+        self._pending_set = set(still_pending)
 
     def _first_fit(self, vm_id: int) -> bool:
-        for pm in self.datacenter.pms:
-            try:
-                self.datacenter.place(vm_id, pm.pm_id)
+        datacenter = self.datacenter
+        arrays = getattr(datacenter, "arrays", None)
+        if arrays is not None:
+            ram_free = arrays.pm_ram_mb - arrays.pm_ram_used_mb()
+            candidates = np.flatnonzero(
+                datacenter.vm(vm_id).ram_mb <= ram_free
+            )
+            if candidates.size == 0:
+                return False
+            datacenter.place(vm_id, int(candidates[0]))
+            return True
+        for pm in datacenter.pms:  # meghlint: ignore[MEGH009] -- compat path for object-model datacenters
+            if datacenter.fits(vm_id, pm.pm_id):
+                datacenter.place(vm_id, pm.pm_id)
                 return True
-            except CapacityError:
-                continue
         return False
 
     def _mean_active_host_utilization(self) -> float:
+        arrays = getattr(self.datacenter, "arrays", None)
+        if arrays is not None:
+            active_ids = np.flatnonzero(arrays.active_pm_mask())
+            if active_ids.size == 0:
+                return 0.0
+            capped = np.minimum(
+                1.0, arrays.pm_demand_utilization()[active_ids]
+            )
+            # Left-to-right total (cumsum) in host-id order, matching
+            # the object path's accumulation bit for bit.
+            return float(np.cumsum(capped)[-1]) / active_ids.size
         active = self.datacenter.active_pm_ids()
         if not active:
             return 0.0

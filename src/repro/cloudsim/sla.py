@@ -10,15 +10,34 @@ Violation tiers are evaluated on the downtime percentage over a trailing
 settled per billing period; a cumulative-from-genesis percentage would let
 one bad minute at boot dominate a month of good service.  Cumulative
 counters are still kept for reporting.
+
+Vectorized accounting
+---------------------
+Since the struct-of-arrays rewrite the accountant keeps its counters in
+dense NumPy vectors indexed by entity id — cumulative seconds in
+``float64[cap]`` vectors, billing windows in ``(cap, W)`` matrices kept
+in chronological order (rows shift left when full, exactly like the old
+per-record deque's append/evict).  :class:`HostSlaRecord` and
+:class:`VmSlaRecord` obtained from an accountant are *bound views* over
+those arrays, so the public per-record API is unchanged; records
+constructed directly (``VmSlaRecord(window_steps=2)``) stay standalone
+scalar/deque objects.
+
+``observe_step`` takes a batched path when the datacenter exposes a
+:class:`~repro.cloudsim.soa.DatacenterArrays` mirror: one masked
+vector update per counter instead of a Python loop per VM.  Both paths
+apply exactly one ``+= interval`` per entity per step and windowed sums
+are strict left-to-right accumulations (``np.cumsum``), so every
+query is bit-identical between the two.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Mapping, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.cloudsim.datacenter import Datacenter
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: Default billing window: two hours of 5-minute intervals.  Short enough
@@ -26,13 +45,66 @@ from repro.errors import ConfigurationError
 #: long enough that sustained churn or chronic overload keeps paying.
 DEFAULT_WINDOW_SECONDS = 7200.0
 
+#: Initial per-entity capacity of a standalone accountant's arrays; grown
+#: geometrically as larger ids are seen.
+_MIN_CAPACITY = 16
 
-@dataclass
+
 class HostSlaRecord:
-    """Per-host SLA counters."""
+    """Per-host SLA counters.
 
-    active_seconds: float = 0.0
-    overload_seconds: float = 0.0
+    Standalone instances hold plain scalars; records handed out by an
+    :class:`SlaAccountant` are views over the accountant's arrays.
+    """
+
+    __slots__ = ("_owner", "_row", "_active_s", "_overload_s")
+
+    def __init__(
+        self, active_seconds: float = 0.0, overload_seconds: float = 0.0
+    ) -> None:
+        self._owner: Optional["SlaAccountant"] = None
+        self._row = -1
+        self._active_s = active_seconds
+        self._overload_s = overload_seconds
+
+    @classmethod
+    def _bound(cls, owner: "SlaAccountant", row: int) -> "HostSlaRecord":
+        record = cls()
+        record._owner = owner
+        record._row = row
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"HostSlaRecord(active_seconds={self.active_seconds}, "
+            f"overload_seconds={self.overload_seconds})"
+        )
+
+    @property
+    def active_seconds(self) -> float:
+        if self._owner is None:
+            return self._active_s
+        return float(self._owner._host_active_s[self._row])
+
+    @active_seconds.setter
+    def active_seconds(self, value: float) -> None:
+        if self._owner is None:
+            self._active_s = value
+        else:
+            self._owner._host_active_s[self._row] = value
+
+    @property
+    def overload_seconds(self) -> float:
+        if self._owner is None:
+            return self._overload_s
+        return float(self._owner._host_overload_s[self._row])
+
+    @overload_seconds.setter
+    def overload_seconds(self, value: float) -> None:
+        if self._owner is None:
+            self._overload_s = value
+        else:
+            self._owner._host_overload_s[self._row] = value
 
     @property
     def overload_fraction(self) -> float:
@@ -42,21 +114,137 @@ class HostSlaRecord:
         return self.overload_seconds / self.active_seconds
 
 
-@dataclass
 class VmSlaRecord:
-    """Per-VM SLA counters: cumulative plus a trailing billing window."""
+    """Per-VM SLA counters: cumulative plus a trailing billing window.
 
-    window_steps: int = 288
-    requested_seconds: float = 0.0
-    migration_downtime_seconds: float = 0.0
-    overload_downtime_seconds: float = 0.0
-    _window: Deque[Tuple[float, float]] = field(default_factory=deque, repr=False)
+    Standalone instances keep the window in a deque of
+    ``(downtime, requested)`` pairs; accountant-bound instances view one
+    row of the accountant's ``(cap, W)`` window matrices, which store
+    the same entries in the same chronological order.
+    """
+
+    __slots__ = (
+        "_owner",
+        "_row",
+        "_window_steps",
+        "_requested_s",
+        "_mig_down_s",
+        "_over_down_s",
+        "_win",
+    )
+
+    def __init__(
+        self,
+        window_steps: int = 288,
+        requested_seconds: float = 0.0,
+        migration_downtime_seconds: float = 0.0,
+        overload_downtime_seconds: float = 0.0,
+    ) -> None:
+        self._owner: Optional["SlaAccountant"] = None
+        self._row = -1
+        self._window_steps = window_steps
+        self._requested_s = requested_seconds
+        self._mig_down_s = migration_downtime_seconds
+        self._over_down_s = overload_downtime_seconds
+        self._win: Deque[Tuple[float, float]] = deque()
+
+    @classmethod
+    def _bound(cls, owner: "SlaAccountant", row: int) -> "VmSlaRecord":
+        record = cls(window_steps=owner.window_steps)
+        record._owner = owner
+        record._row = row
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"VmSlaRecord(window_steps={self.window_steps}, "
+            f"requested_seconds={self.requested_seconds}, "
+            f"migration_downtime_seconds={self.migration_downtime_seconds}, "
+            f"overload_downtime_seconds={self.overload_downtime_seconds})"
+        )
+
+    # ------------------------------------------------------------------
+    # Counter fields (array-backed when bound)
+    # ------------------------------------------------------------------
+    @property
+    def window_steps(self) -> int:
+        if self._owner is None:
+            return self._window_steps
+        return self._owner.window_steps
+
+    @property
+    def requested_seconds(self) -> float:
+        if self._owner is None:
+            return self._requested_s
+        return float(self._owner._vm_requested_s[self._row])
+
+    @requested_seconds.setter
+    def requested_seconds(self, value: float) -> None:
+        if self._owner is None:
+            self._requested_s = value
+        else:
+            self._owner._vm_requested_s[self._row] = value
+
+    @property
+    def migration_downtime_seconds(self) -> float:
+        if self._owner is None:
+            return self._mig_down_s
+        return float(self._owner._vm_mig_down_s[self._row])
+
+    @migration_downtime_seconds.setter
+    def migration_downtime_seconds(self, value: float) -> None:
+        if self._owner is None:
+            self._mig_down_s = value
+        else:
+            self._owner._vm_mig_down_s[self._row] = value
+
+    @property
+    def overload_downtime_seconds(self) -> float:
+        if self._owner is None:
+            return self._over_down_s
+        return float(self._owner._vm_over_down_s[self._row])
+
+    @overload_downtime_seconds.setter
+    def overload_downtime_seconds(self, value: float) -> None:
+        if self._owner is None:
+            self._over_down_s = value
+        else:
+            self._owner._vm_over_down_s[self._row] = value
+
+    # ------------------------------------------------------------------
+    # Billing window
+    # ------------------------------------------------------------------
+    @property
+    def _window(self) -> Deque[Tuple[float, float]]:
+        """The window as a deque of ``(downtime, requested)`` pairs.
+
+        For bound records this is a chronological *snapshot* of the
+        accountant's window row (kept for introspection and the
+        serializer round-trip tests); mutate via ``record_step``.
+        """
+        if self._owner is None:
+            return self._win
+        return deque(self.window_entries())
+
+    def window_entries(self) -> List[Tuple[float, float]]:
+        """Chronological ``(downtime, requested)`` entries, oldest first."""
+        if self._owner is None:
+            return [(float(d), float(r)) for d, r in self._win]
+        owner, row = self._owner, self._row
+        n = int(owner._win_len[row])
+        return [
+            (float(owner._win_down[row, k]), float(owner._win_req[row, k]))
+            for k in range(n)
+        ]
 
     def record_step(self, downtime: float, requested: float) -> None:
         """Append one interval's (downtime, requested) to the window."""
-        self._window.append((downtime, requested))
-        while len(self._window) > self.window_steps:
-            self._window.popleft()
+        if self._owner is None:
+            self._win.append((downtime, requested))
+            while len(self._win) > self._window_steps:
+                self._win.popleft()
+        else:
+            self._owner._record_window_single(self._row, downtime, requested)
 
     @property
     def total_downtime_seconds(self) -> float:
@@ -76,14 +264,17 @@ class VmSlaRecord:
         This is the quantity the violation tiers of Section 3.3 are keyed
         on; it recovers once service is restored.
         """
-        requested = sum(r for _, r in self._window)
+        if self._owner is not None:
+            return float(self._owner._window_fraction_rows(
+                np.array([self._row], dtype=np.int64)
+            )[0])
+        requested = sum(r for _, r in self._win)
         if requested <= 0.0:
             return 0.0
-        downtime = sum(d for d, _ in self._window)
+        downtime = sum(d for d, _ in self._win)
         return downtime / requested
 
 
-@dataclass
 class SlaAccountant:
     """Accumulates overload and downtime statistics step by step.
 
@@ -95,36 +286,198 @@ class SlaAccountant:
         bandwidth_threshold: when set, a host whose *network* demand
             exceeds this fraction is overloaded too (multi-resource
             mode, see ``DatacenterConfig.bandwidth_aware``).
+
+    Attributes:
+        hosts: per-host records, keyed by PM id, in first-seen order.
+        vms: per-VM records, keyed by VM id, in first-seen order.
     """
 
-    beta: float = 0.70
-    window_seconds: float = DEFAULT_WINDOW_SECONDS
-    interval_seconds: float = 300.0
-    bandwidth_threshold: Optional[float] = None
-    hosts: Dict[int, HostSlaRecord] = field(default_factory=dict)
-    vms: Dict[int, VmSlaRecord] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if not 0 < self.beta <= 1:
+    def __init__(
+        self,
+        beta: float = 0.70,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        interval_seconds: float = 300.0,
+        bandwidth_threshold: Optional[float] = None,
+    ) -> None:
+        if not 0 < beta <= 1:
             raise ConfigurationError("beta must be in (0, 1]")
-        if self.window_seconds <= 0 or self.interval_seconds <= 0:
+        if window_seconds <= 0 or interval_seconds <= 0:
             raise ConfigurationError("window and interval must be > 0")
+        self.beta = beta
+        self.window_seconds = window_seconds
+        self.interval_seconds = interval_seconds
+        self.bandwidth_threshold = bandwidth_threshold
+        self.hosts: Dict[int, HostSlaRecord] = {}
+        self.vms: Dict[int, VmSlaRecord] = {}
+        # Array-backed counters (rows indexed by entity id, grown on
+        # demand so a standalone accountant works without a datacenter).
+        width = self.window_steps
+        self._host_active_s = np.zeros(0, dtype=np.float64)
+        self._host_overload_s = np.zeros(0, dtype=np.float64)
+        self._vm_requested_s = np.zeros(0, dtype=np.float64)
+        self._vm_mig_down_s = np.zeros(0, dtype=np.float64)
+        self._vm_over_down_s = np.zeros(0, dtype=np.float64)
+        self._win_down = np.zeros((0, width), dtype=np.float64)
+        self._win_req = np.zeros((0, width), dtype=np.float64)
+        self._win_len = np.zeros(0, dtype=np.int64)
+        # Mirrors of dict membership, so the batched path can find the
+        # not-yet-tracked entities without a per-id dict probe.
+        self._host_seen = np.zeros(0, dtype=bool)
+        self._vm_seen = np.zeros(0, dtype=bool)
+        # Scratch buffers for the batched observe path.
+        self._buf_down = np.zeros(0, dtype=np.float64)
+        self._buf_req = np.zeros(0, dtype=np.float64)
+        self._buf_in_step = np.zeros(0, dtype=bool)
 
     @property
     def window_steps(self) -> int:
         return max(1, int(round(self.window_seconds / self.interval_seconds)))
 
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grow_1d(array: np.ndarray, capacity: int) -> np.ndarray:
+        grown = np.zeros(capacity, dtype=array.dtype)
+        grown[: array.shape[0]] = array
+        return grown
+
+    def _ensure_host_capacity(self, size: int) -> None:
+        if size <= self._host_active_s.shape[0]:
+            return
+        capacity = max(size, _MIN_CAPACITY, 2 * self._host_active_s.shape[0])
+        self._host_active_s = self._grow_1d(self._host_active_s, capacity)
+        self._host_overload_s = self._grow_1d(self._host_overload_s, capacity)
+        self._host_seen = self._grow_1d(self._host_seen, capacity)
+
+    def _ensure_vm_capacity(self, size: int) -> None:
+        if size <= self._vm_requested_s.shape[0]:
+            return
+        capacity = max(size, _MIN_CAPACITY, 2 * self._vm_requested_s.shape[0])
+        self._vm_requested_s = self._grow_1d(self._vm_requested_s, capacity)
+        self._vm_mig_down_s = self._grow_1d(self._vm_mig_down_s, capacity)
+        self._vm_over_down_s = self._grow_1d(self._vm_over_down_s, capacity)
+        self._win_len = self._grow_1d(self._win_len, capacity)
+        self._vm_seen = self._grow_1d(self._vm_seen, capacity)
+        width = self._win_down.shape[1]
+        for name in ("_win_down", "_win_req"):
+            old = getattr(self, name)
+            grown = np.zeros((capacity, width), dtype=np.float64)
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+        self._buf_down = np.zeros(capacity, dtype=np.float64)
+        self._buf_req = np.zeros(capacity, dtype=np.float64)
+        self._buf_in_step = np.zeros(capacity, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
     def host_record(self, pm_id: int) -> HostSlaRecord:
-        return self.hosts.setdefault(pm_id, HostSlaRecord())
+        record = self.hosts.get(pm_id)
+        if record is None:
+            self._ensure_host_capacity(pm_id + 1)
+            record = HostSlaRecord._bound(self, pm_id)
+            self.hosts[pm_id] = record
+            self._host_seen[pm_id] = True
+        return record
 
     def vm_record(self, vm_id: int) -> VmSlaRecord:
-        return self.vms.setdefault(
-            vm_id, VmSlaRecord(window_steps=self.window_steps)
-        )
+        record = self.vms.get(vm_id)
+        if record is None:
+            self._ensure_vm_capacity(vm_id + 1)
+            record = VmSlaRecord._bound(self, vm_id)
+            self.vms[vm_id] = record
+            self._vm_seen[vm_id] = True
+        return record
 
+    def restore_host_record(
+        self, pm_id: int, active_seconds: float, overload_seconds: float
+    ) -> HostSlaRecord:
+        """Recreate a host record from serialized counters."""
+        record = self.host_record(pm_id)
+        record.active_seconds = active_seconds
+        record.overload_seconds = overload_seconds
+        return record
+
+    def restore_vm_record(
+        self,
+        vm_id: int,
+        requested_seconds: float,
+        migration_downtime_seconds: float,
+        overload_downtime_seconds: float,
+        window: Iterable[Tuple[float, float]],
+    ) -> VmSlaRecord:
+        """Recreate a VM record (counters plus billing window)."""
+        record = self.vm_record(vm_id)
+        record.requested_seconds = requested_seconds
+        record.migration_downtime_seconds = migration_downtime_seconds
+        record.overload_downtime_seconds = overload_downtime_seconds
+        self._win_down[vm_id] = 0.0
+        self._win_req[vm_id] = 0.0
+        self._win_len[vm_id] = 0
+        for downtime, requested in window:
+            self._record_window_single(vm_id, downtime, requested)
+        return record
+
+    # ------------------------------------------------------------------
+    # Window maintenance
+    # ------------------------------------------------------------------
+    def _record_window_single(
+        self, row: int, downtime: float, requested: float
+    ) -> None:
+        """Append one entry to a single VM's window (scalar path)."""
+        width = self._win_down.shape[1]
+        n = int(self._win_len[row])
+        if n >= width:
+            self._win_down[row, :-1] = self._win_down[row, 1:]
+            self._win_req[row, :-1] = self._win_req[row, 1:]
+            self._win_down[row, width - 1] = downtime
+            self._win_req[row, width - 1] = requested
+        else:
+            self._win_down[row, n] = downtime
+            self._win_req[row, n] = requested
+            self._win_len[row] = n + 1
+
+    def _record_window_batch(
+        self, rows: np.ndarray, downtime: np.ndarray, requested: np.ndarray
+    ) -> None:
+        """Append one entry to many VMs' windows in one vector pass."""
+        width = self._win_down.shape[1]
+        lens = self._win_len[rows]
+        full = lens >= width
+        full_rows = rows[full]
+        if full_rows.size:
+            # Advanced indexing copies the RHS before the scattered
+            # assignment, so the left shift is safe in place.
+            self._win_down[full_rows, :-1] = self._win_down[full_rows, 1:]
+            self._win_req[full_rows, :-1] = self._win_req[full_rows, 1:]
+        pos = np.where(full, width - 1, lens)
+        self._win_down[rows, pos] = downtime
+        self._win_req[rows, pos] = requested
+        self._win_len[rows] = np.minimum(lens + 1, width)
+
+    def _window_fraction_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Windowed downtime fractions for the given rows.
+
+        Row sums are left-to-right (``np.cumsum``), matching the deque
+        implementation bit for bit; unfilled tail slots hold +0.0, which
+        never perturbs a left-to-right sum of non-negative terms.
+        """
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        requested = np.cumsum(self._win_req[rows], axis=1)[:, -1]
+        downtime = np.cumsum(self._win_down[rows], axis=1)[:, -1]
+        fractions = np.zeros(rows.shape[0], dtype=np.float64)
+        served = requested > 0.0
+        fractions[served] = downtime[served] / requested[served]
+        return fractions
+
+    # ------------------------------------------------------------------
+    # Per-step observation
+    # ------------------------------------------------------------------
     def observe_step(
         self,
-        datacenter: Datacenter,
+        datacenter,
         interval_seconds: float,
         migration_downtime: Mapping[int, float] = (),
     ) -> None:
@@ -141,6 +494,95 @@ class SlaAccountant:
         """
         if interval_seconds <= 0:
             raise ConfigurationError("interval must be > 0")
+        arrays = getattr(datacenter, "arrays", None)
+        if arrays is not None:
+            self._observe_step_vectorized(
+                datacenter, arrays, interval_seconds, migration_downtime
+            )
+        else:
+            self._observe_step_objects(
+                datacenter, interval_seconds, migration_downtime
+            )
+
+    def _observe_step_vectorized(
+        self, datacenter, arrays, interval_seconds: float,
+        migration_downtime: Mapping[int, float],
+    ) -> None:
+        self._ensure_host_capacity(datacenter.num_pms)
+        self._ensure_vm_capacity(datacenter.num_vms)
+        interval = interval_seconds
+
+        active_ids = np.flatnonzero(arrays.active_pm_mask())
+        new_hosts = active_ids[~self._host_seen[active_ids]]
+        for pm_id in new_hosts:
+            pm_key = int(pm_id)
+            self.hosts[pm_key] = HostSlaRecord._bound(self, pm_key)
+            self._host_seen[pm_key] = True
+        self._host_active_s[active_ids] += interval
+        overloaded_mask = arrays.overloaded_pm_mask(
+            self.beta, self.bandwidth_threshold
+        )
+        self._host_overload_s[np.flatnonzero(overloaded_mask)] += interval
+
+        placed = arrays.host_of >= 0
+        eligible = placed & arrays.vm_active
+        eligible_ids = np.flatnonzero(eligible)
+        self._vm_requested_s[eligible_ids] += interval
+        on_overloaded = np.zeros_like(eligible)
+        on_overloaded[eligible_ids] = overloaded_mask[
+            arrays.host_of[eligible_ids]
+        ]
+        overloaded_vm_ids = np.flatnonzero(on_overloaded)
+        self._vm_over_down_s[overloaded_vm_ids] += interval
+
+        # New VM records in the same first-seen order as the object
+        # path: host id ascending, VM id ascending within a host.
+        new_ids = eligible_ids[~self._vm_seen[eligible_ids]]
+        if new_ids.size:
+            order = np.lexsort((new_ids, arrays.host_of[new_ids]))
+            for vm_id in new_ids[order]:
+                vm_key = int(vm_id)
+                self.vms[vm_key] = VmSlaRecord._bound(self, vm_key)
+                self._vm_seen[vm_key] = True
+
+        num = self._buf_down.shape[0]
+        down = self._buf_down
+        req = self._buf_req
+        in_step = self._buf_in_step
+        down[:num] = 0.0
+        req[:num] = 0.0
+        in_step[:num] = False
+        down[overloaded_vm_ids] = interval
+        req[eligible_ids] = interval
+        in_step[eligible_ids] = True
+        for vm_id, seconds in dict(migration_downtime).items():
+            self.vm_record(vm_id).migration_downtime_seconds += seconds
+            # Buffers may have been reallocated by vm_record's growth.
+            down = self._buf_down
+            req = self._buf_req
+            in_step = self._buf_in_step
+            down[vm_id] += seconds
+            if not in_step[vm_id]:
+                req[vm_id] = interval
+                in_step[vm_id] = True
+
+        participants = np.flatnonzero(in_step)
+        if participants.size:
+            self._record_window_batch(
+                participants,
+                np.minimum(down[participants], req[participants]),
+                req[participants],
+            )
+
+    def _observe_step_objects(
+        self, datacenter, interval_seconds: float,
+        migration_downtime: Mapping[int, float],
+    ) -> None:
+        """Object-model path for datacenters without an array mirror.
+
+        Hosted VMs are visited in ascending id order — the canonical
+        accumulation order shared with the vectorized path.
+        """
         mig: Dict[int, float] = dict(migration_downtime)
         step_downtime: Dict[int, float] = {}
         step_requested: Dict[int, float] = {}
@@ -155,7 +597,7 @@ class SlaAccountant:
             )
             if overloaded:
                 record.overload_seconds += interval_seconds
-            for vm_id in datacenter.vms_on(pm_id):
+            for vm_id in sorted(datacenter.vms_on(pm_id)):
                 vm = datacenter.vm(vm_id)
                 if not vm.is_active:
                     continue
@@ -175,15 +617,28 @@ class SlaAccountant:
             downtime = min(step_downtime.get(vm_id, 0.0), requested)
             self.vm_record(vm_id).record_step(downtime, requested)
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def downtime_fraction(self, vm_id: int) -> float:
         """Windowed downtime fraction for a VM (0 if never seen)."""
         record = self.vms.get(vm_id)
         return record.downtime_fraction if record else 0.0
+
+    def windowed_downtime_fractions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``(vm_ids, fractions)`` over every tracked VM.
+
+        Ids come back in first-seen order (the ``vms`` dict order), so a
+        cost model summing per-VM terms over this vector accumulates in
+        exactly the order the per-record loop would.
+        """
+        vm_ids = np.fromiter(self.vms.keys(), dtype=np.int64, count=len(self.vms))
+        return vm_ids, self._window_fraction_rows(vm_ids)
 
     def overall_sla_violation(self) -> float:
         """Mean lifetime downtime fraction across VMs — a QoS summary."""
         if not self.vms:
             return 0.0
         return sum(
-            r.cumulative_downtime_fraction for r in self.vms.values()
+            r.cumulative_downtime_fraction for r in self.vms.values()  # meghlint: ignore[MEGH009] -- cold path: end-of-run summary
         ) / len(self.vms)

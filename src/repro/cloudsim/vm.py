@@ -5,16 +5,25 @@ A :class:`VirtualMachine` carries the static resources a user requested
 the CPU utilization fraction its workload *demands* and the fraction the
 host actually *delivers* (which can be lower when the host is oversubscribed
 or the VM is mid-migration).
+
+Since the struct-of-arrays rewrite the dynamic state can live in two
+places: a standalone VM keeps plain scalar attributes, while a VM owned
+by a :class:`~repro.cloudsim.datacenter.Datacenter` is *bound* to the
+datacenter's :class:`~repro.cloudsim.soa.DatacenterArrays` — its dynamic
+properties then read and write the shared vectors, so the object API and
+the vectorized pipeline always observe the same values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 
+if TYPE_CHECKING:
+    from repro.cloudsim.soa import DatacenterArrays
 
-@dataclass
+
 class VirtualMachine:
     """A virtual machine instance.
 
@@ -34,25 +43,129 @@ class VirtualMachine:
             bandwidth-aware workloads; 0 otherwise).
     """
 
-    vm_id: int
-    mips: float
-    ram_mb: float
-    bandwidth_mbps: float
-    demanded_utilization: float = 0.0
-    delivered_utilization: float = 0.0
-    demanded_bandwidth_utilization: float = 0.0
-    _active: bool = field(default=True, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.vm_id < 0:
+    def __init__(
+        self,
+        vm_id: int,
+        mips: float,
+        ram_mb: float,
+        bandwidth_mbps: float,
+        demanded_utilization: float = 0.0,
+        delivered_utilization: float = 0.0,
+        demanded_bandwidth_utilization: float = 0.0,
+        _active: bool = True,
+    ) -> None:
+        if vm_id < 0:
             raise ConfigurationError("vm_id must be >= 0")
-        if self.mips <= 0:
+        if mips <= 0:
             raise ConfigurationError("VM mips must be > 0")
-        if self.ram_mb <= 0:
+        if ram_mb <= 0:
             raise ConfigurationError("VM ram must be > 0")
-        if self.bandwidth_mbps <= 0:
+        if bandwidth_mbps <= 0:
             raise ConfigurationError("VM bandwidth must be > 0")
-        self.set_demand(self.demanded_utilization)
+        self.vm_id = vm_id
+        self.mips = mips
+        self.ram_mb = ram_mb
+        self.bandwidth_mbps = bandwidth_mbps
+        self._arrays: Optional["DatacenterArrays"] = None
+        self._index = -1
+        self._demand = 0.0
+        self._delivered = delivered_utilization
+        self._bw_demand = demanded_bandwidth_utilization
+        self._active_flag = _active
+        self.set_demand(demanded_utilization)
+
+    def _bind(self, arrays: "DatacenterArrays", index: int) -> None:
+        """Move this VM's dynamic state into a datacenter's arrays.
+
+        Called by ``Datacenter.__init__``; carries the current scalar
+        state over so binding is observationally a no-op.
+        """
+        arrays.vm_mips[index] = self.mips
+        arrays.vm_ram_mb[index] = self.ram_mb
+        arrays.vm_bandwidth_mbps[index] = self.bandwidth_mbps
+        arrays.vm_demand[index] = self._demand
+        arrays.vm_delivered[index] = self._delivered
+        arrays.vm_bw_demand[index] = self._bw_demand
+        arrays.vm_active[index] = self._active_flag
+        self._arrays = arrays
+        self._index = index
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine(vm_id={self.vm_id}, mips={self.mips}, "
+            f"ram_mb={self.ram_mb}, bandwidth_mbps={self.bandwidth_mbps}, "
+            f"demanded_utilization={self.demanded_utilization}, "
+            f"delivered_utilization={self.delivered_utilization}, "
+            f"demanded_bandwidth_utilization="
+            f"{self.demanded_bandwidth_utilization})"
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic state (array-backed when bound)
+    # ------------------------------------------------------------------
+    @property
+    def demanded_utilization(self) -> float:
+        arrays = self._arrays
+        if arrays is None:
+            return self._demand
+        return float(arrays.vm_demand[self._index])
+
+    @demanded_utilization.setter
+    def demanded_utilization(self, value: float) -> None:
+        arrays = self._arrays
+        if arrays is None:
+            self._demand = value
+        else:
+            arrays.vm_demand[self._index] = value
+            arrays.mark_demand_dirty()
+
+    @property
+    def delivered_utilization(self) -> float:
+        arrays = self._arrays
+        if arrays is None:
+            return self._delivered
+        return float(arrays.vm_delivered[self._index])
+
+    @delivered_utilization.setter
+    def delivered_utilization(self, value: float) -> None:
+        arrays = self._arrays
+        if arrays is None:
+            self._delivered = value
+        else:
+            arrays.vm_delivered[self._index] = value
+            arrays.mark_delivered_dirty()
+
+    @property
+    def demanded_bandwidth_utilization(self) -> float:
+        arrays = self._arrays
+        if arrays is None:
+            return self._bw_demand
+        return float(arrays.vm_bw_demand[self._index])
+
+    @demanded_bandwidth_utilization.setter
+    def demanded_bandwidth_utilization(self, value: float) -> None:
+        arrays = self._arrays
+        if arrays is None:
+            self._bw_demand = value
+        else:
+            arrays.vm_bw_demand[self._index] = value
+            arrays.mark_bw_dirty()
+
+    @property
+    def _active(self) -> bool:
+        """Raw active flag (no zeroing side effects; see ``set_active``)."""
+        arrays = self._arrays
+        if arrays is None:
+            return self._active_flag
+        return bool(arrays.vm_active[self._index])
+
+    @_active.setter
+    def _active(self, value: bool) -> None:
+        arrays = self._arrays
+        if arrays is None:
+            self._active_flag = value
+        else:
+            arrays.vm_active[self._index] = value
 
     @property
     def is_active(self) -> bool:
@@ -77,11 +190,21 @@ class VirtualMachine:
 
     def set_active(self, active: bool) -> None:
         """Mark the VM as running a task (Google-style traces) or idle."""
-        self._active = active
-        if not active:
-            self.demanded_utilization = 0.0
-            self.delivered_utilization = 0.0
-            self.demanded_bandwidth_utilization = 0.0
+        arrays = self._arrays
+        if arrays is None:
+            self._active_flag = active
+            if not active:
+                self._demand = 0.0
+                self._delivered = 0.0
+                self._bw_demand = 0.0
+        else:
+            index = self._index
+            arrays.vm_active[index] = active
+            if not active:
+                arrays.vm_demand[index] = 0.0
+                arrays.vm_delivered[index] = 0.0
+                arrays.vm_bw_demand[index] = 0.0
+                arrays.mark_activity_dirty()
 
     @property
     def demanded_mips(self) -> float:

@@ -11,6 +11,8 @@ per-stage cost ``ΔC_v`` non-negative, as Eq. (6)'s discussion requires.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cloudsim.sla import SlaAccountant
 from repro.config import CostConfig
 from repro.errors import ConfigurationError
@@ -43,10 +45,32 @@ class SlaCostModel:
         if interval_seconds <= 0:
             raise ConfigurationError("interval must be > 0")
         hours = interval_seconds / 3600.0
-        usd = 0.0
-        for record in accountant.vms.values():
-            rate = self.payback_rate(record.downtime_fraction)
-            if rate > 0.0:
-                usd += rate * self._config.vm_price_usd_per_hour * hours
+        if type(self).payback_rate is SlaCostModel.payback_rate:
+            # Batched path: evaluate the violation tiers over every
+            # tracked VM's windowed fraction in one pass and total the
+            # per-VM refunds left-to-right in first-seen order — the
+            # same operation sequence as the per-record loop, so the
+            # result is bit-identical.
+            vm_ids, fractions = accountant.windowed_downtime_fractions()
+            if vm_ids.size == 0:
+                return 0.0
+            rates = np.where(
+                fractions > self._config.major_downtime_threshold,
+                self._config.payback_major,
+                np.where(
+                    fractions > self._config.minor_downtime_threshold,
+                    self._config.payback_minor,
+                    0.0,
+                ),
+            )
+            terms = rates * self._config.vm_price_usd_per_hour * hours
+            usd = float(np.cumsum(terms)[-1])
+        else:
+            # A subclass overrode the tier schedule: honor it per record.
+            usd = 0.0
+            for record in accountant.vms.values():
+                rate = self.payback_rate(record.downtime_fraction)
+                if rate > 0.0:
+                    usd += rate * self._config.vm_price_usd_per_hour * hours
         self._total_usd += usd
         return usd

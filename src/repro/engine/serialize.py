@@ -13,12 +13,11 @@ original.
 from __future__ import annotations
 
 import json
-from collections import deque
 from typing import Any, Dict
 
 from repro.cloudsim.metrics import MetricsCollector, StepMetrics
 from repro.cloudsim.simulation import SimulationResult
-from repro.cloudsim.sla import HostSlaRecord, SlaAccountant, VmSlaRecord
+from repro.cloudsim.sla import SlaAccountant
 from repro.config import CostConfig, DatacenterConfig, SimulationConfig
 from repro.errors import SerializationError
 
@@ -72,7 +71,7 @@ def _sla_to_dict(sla: SlaAccountant) -> Dict[str, Any]:
                 "requested_seconds": record.requested_seconds,
                 "migration_downtime_seconds": record.migration_downtime_seconds,
                 "overload_downtime_seconds": record.overload_downtime_seconds,
-                "window": [list(entry) for entry in record._window],
+                "window": [list(entry) for entry in record.window_entries()],
             }
             for vm_id, record in sla.vms.items()
         },
@@ -87,21 +86,19 @@ def _sla_from_dict(data: Dict[str, Any]) -> SlaAccountant:
         bandwidth_threshold=data["bandwidth_threshold"],
     )
     for pm_id, host in data["hosts"].items():
-        accountant.hosts[int(pm_id)] = HostSlaRecord(
+        accountant.restore_host_record(
+            int(pm_id),
             active_seconds=host["active_seconds"],
             overload_seconds=host["overload_seconds"],
         )
     for vm_id, vm in data["vms"].items():
-        record = VmSlaRecord(
-            window_steps=vm["window_steps"],
+        accountant.restore_vm_record(
+            int(vm_id),
             requested_seconds=vm["requested_seconds"],
             migration_downtime_seconds=vm["migration_downtime_seconds"],
             overload_downtime_seconds=vm["overload_downtime_seconds"],
+            window=[(entry[0], entry[1]) for entry in vm["window"]],
         )
-        record._window = deque(
-            (entry[0], entry[1]) for entry in vm["window"]
-        )
-        accountant.vms[int(vm_id)] = record
     return accountant
 
 

@@ -75,6 +75,15 @@ class BandwidthWorkload:
             return 0.0
         return float(self._bandwidth[vm_id, step])
 
+    def step_slice(
+        self, step: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Batched per-step view with the bandwidth column attached."""
+        active, utilization, _ = self._cpu.step_slice(step)
+        bandwidth = self._bandwidth[:, step].view()
+        bandwidth.flags.writeable = False
+        return active, utilization, bandwidth
+
 
 def derive_bandwidth_workload(
     cpu: Workload,

@@ -18,7 +18,14 @@ from repro.errors import TraceError
 
 @runtime_checkable
 class Workload(Protocol):
-    """Read-only view of a CPU-utilization trace for a fleet of VMs."""
+    """Read-only view of a CPU-utilization trace for a fleet of VMs.
+
+    Implementations may additionally provide
+    ``step_slice(step) -> (active, utilization, bandwidth)`` returning
+    whole per-step columns (see :meth:`ArrayWorkload.step_slice`); the
+    simulation driver uses it for batched workload application and falls
+    back to the per-VM calls when absent.
+    """
 
     @property
     def num_vms(self) -> int:
@@ -107,6 +114,26 @@ class ArrayWorkload:
     def is_active(self, vm_id: int, step: int) -> bool:
         self._check(vm_id, step)
         return bool(self._active[vm_id, step])
+
+    def step_slice(
+        self, step: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Batched per-step view: ``(active, utilization, bandwidth)``.
+
+        ``active`` and ``utilization`` are read-only length-``num_vms``
+        columns (the same values the per-VM ``is_active``/``utilization``
+        calls return, except that ``utilization`` is not zero-masked —
+        consumers apply the activity mask); ``bandwidth`` is ``None`` for
+        CPU-only workloads.  The simulation driver uses this to apply a
+        whole interval's workload in one vector pass.
+        """
+        if not 0 <= step < self.num_steps:
+            raise TraceError(f"step {step} out of range [0, {self.num_steps})")
+        active = self._active[:, step].view()
+        active.flags.writeable = False
+        utilization = self._matrix[:, step].view()
+        utilization.flags.writeable = False
+        return active, utilization, None
 
     def slice_vms(self, vm_ids: Sequence[int]) -> "ArrayWorkload":
         """Restrict the workload to a subset of VMs (re-indexed densely)."""

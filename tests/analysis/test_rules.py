@@ -30,6 +30,7 @@ class TestRegistry:
             "MEGH006",
             "MEGH007",
             "MEGH008",
+            "MEGH009",
         ]
 
     def test_every_rule_has_summary_and_severity(self):
@@ -334,3 +335,91 @@ class TestMegh008FullDimensionScan:
             "        print(i)\n"
         )
         assert self.path_findings(source, self.CORE_PATH) == []
+
+
+class TestMegh009PerEntityFleetLoops:
+    CLOUDSIM_PATH = "src/repro/cloudsim/sharing.py"
+
+    @staticmethod
+    def path_findings(source: str, path: str):
+        result = lint_source(
+            source, path=path, config=LintConfig(select=["MEGH009"])
+        )
+        return result.diagnostics
+
+    def test_flags_vm_loop_in_cloudsim(self):
+        source = (
+            "def share(self):\n"
+            "    for vm in self.datacenter.vms:\n"
+            "        vm.deliver()\n"
+        )
+        hits = self.path_findings(source, self.CLOUDSIM_PATH)
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "'vms'" in hits[0].message
+
+    def test_flags_private_pm_loop(self):
+        source = (
+            "def totals(self):\n"
+            "    for pm in self._pms:\n"
+            "        pm.total()\n"
+        )
+        assert len(self.path_findings(source, self.CLOUDSIM_PATH)) == 1
+
+    def test_unwraps_iteration_wrappers(self):
+        source = (
+            "def scan(dc):\n"
+            "    for i, vm in enumerate(dc.vms):\n"
+            "        print(i, vm)\n"
+            "    for pm in sorted(dc.pms):\n"
+            "        print(pm)\n"
+        )
+        assert len(self.path_findings(source, self.CLOUDSIM_PATH)) == 2
+
+    def test_flags_dict_view_iteration(self):
+        source = (
+            "def summary(self):\n"
+            "    return [r.f for r in self.vms.values()]\n"
+        )
+        assert len(self.path_findings(source, self.CLOUDSIM_PATH)) == 1
+
+    def test_flags_comprehensions(self):
+        source = "def demand(dc):\n    return sum(v.mips for v in dc.vms)\n"
+        assert len(self.path_findings(source, self.CLOUDSIM_PATH)) == 1
+
+    def test_other_iterables_allowed(self):
+        source = (
+            "def work(self, ids):\n"
+            "    for vm_id in ids:\n"
+            "        print(vm_id)\n"
+            "    for row in self.arrays.host_of:\n"
+            "        print(row)\n"
+        )
+        assert self.path_findings(source, self.CLOUDSIM_PATH) == []
+
+    def test_non_cloudsim_paths_exempt(self):
+        source = (
+            "def scan(dc):\n"
+            "    for vm in dc.vms:\n"
+            "        print(vm)\n"
+        )
+        assert self.path_findings(source, "src/repro/harness/run.py") == []
+        assert findings(source, "MEGH009") == []
+
+    def test_reference_oracle_exempt(self):
+        source = (
+            "def share(self):\n"
+            "    for pm in self._pms:\n"
+            "        pm.total()\n"
+        )
+        path = "src/repro/cloudsim/reference.py"
+        assert self.path_findings(source, path) == []
+
+    def test_suppression_comment_is_honoured(self):
+        source = (
+            "def rebind(self):\n"
+            "    for vm in self._vms:  "
+            "# meghlint: ignore[MEGH009] -- one-time binding\n"
+            "        vm.bind()\n"
+        )
+        assert self.path_findings(source, self.CLOUDSIM_PATH) == []

@@ -109,6 +109,50 @@ class TestLifecycle:
         assert seen[1] is False  # no room yet
         assert seen[2] is True  # VM 0 deprovisioned, VM 1 placed
 
+    def test_pending_queue_preserves_arrival_order(self):
+        # One host with room for a single VM.  VMs 1-3 all arrive at
+        # step 1 while VM 0 still occupies the host; the pending queue
+        # must hold them in arrival (id) order, and when the slot frees
+        # at step 2 the *first* pending VM is the one placed.
+        pms = [make_pm(0, ram_mb=1024.0)]
+        vms = [make_vm(j, ram_mb=1024.0) for j in range(4)]
+        dc = Datacenter(pms, vms)
+        dc.place(0, 0)
+        matrix = np.full((4, 4), 0.2)
+        active = np.array(
+            [
+                [True, True, False, False],  # VM 0 leaves at step 2
+                [False, True, True, True],
+                [False, True, True, True],
+                [False, True, True, True],
+            ]
+        )
+        sim = Simulation(
+            dc,
+            ArrayWorkload(matrix, active),
+            SimulationConfig(num_steps=4),
+            dynamic_provisioning=True,
+        )
+        pending_at = {}
+        placed_at = {}
+
+        class Probe:
+            name = "probe"
+
+            def decide(self, observation):
+                pending_at[observation.step] = list(sim.pending_vm_ids)
+                placed_at[observation.step] = sorted(
+                    vm_id
+                    for vm_id in range(4)
+                    if observation.datacenter.is_placed(vm_id)
+                )
+                return []
+
+        sim.run(Probe())
+        assert pending_at[1] == [1, 2, 3]  # FIFO, arrival order
+        assert placed_at[2] == [1]  # head of the queue wins the slot
+        assert pending_at[2] == [2, 3]  # order of the rest untouched
+
     def test_reset_clears_pending(self):
         sim = build_sim(dynamic=True)
         sim.run(NoMigrationScheduler())
