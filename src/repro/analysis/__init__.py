@@ -9,8 +9,15 @@ project invariants:
 * a rule registry (:mod:`repro.analysis.rules`) with the MEGH rule set
   (unseeded randomness, wall-clock reads, float equality, mutable
   defaults, missing seed plumbing, swallowed exceptions);
-* an engine (:mod:`repro.analysis.engine`) that walks files, applies the
-  rules, and honours ``# meghlint: ignore[RULE]`` suppressions;
+* a whole-program flow pass (:mod:`repro.analysis.flow`, "meghflow")
+  checking RNG provenance, dirty-flag invalidation, and dtype/axis
+  discipline across module boundaries (MEGH010–MEGH012);
+* an engine (:mod:`repro.analysis.engine`) that walks files, parses each
+  module once for every pass, applies the rules, honours
+  ``# meghlint: ignore[RULE] -- reason`` suppressions, and reports
+  directives that never fire;
+* an accepted-findings baseline (:mod:`repro.analysis.baseline`) gating
+  CI on *no new findings* with a written reason per entry;
 * text and JSON reporters (:mod:`repro.analysis.reporting`);
 * a CLI (:mod:`repro.analysis.cli`), reachable as ``repro lint`` /
   ``megh-repro lint`` or ``python -m repro.analysis``.
@@ -19,8 +26,26 @@ The runtime counterpart — contracts that audit the live LSPI state —
 lives in :mod:`repro.core.contracts`.
 """
 
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    update_baseline,
+)
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.engine import LintConfig, lint_file, lint_paths, lint_source
+from repro.analysis.engine import (
+    UNUSED_SUPPRESSION_RULE,
+    LintConfig,
+    LintResult,
+    ParsedModule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_module,
+)
+from repro.analysis.flow import FLOW_RULES, run_flow
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.rules import RULE_REGISTRY, Rule, all_rule_ids
 
@@ -28,12 +53,24 @@ __all__ = [
     "Diagnostic",
     "Severity",
     "LintConfig",
+    "LintResult",
+    "ParsedModule",
+    "parse_module",
     "lint_file",
     "lint_paths",
     "lint_source",
     "render_json",
     "render_text",
     "RULE_REGISTRY",
+    "FLOW_RULES",
+    "run_flow",
     "Rule",
     "all_rule_ids",
+    "UNUSED_SUPPRESSION_RULE",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "apply_baseline",
+    "load_baseline",
+    "update_baseline",
 ]

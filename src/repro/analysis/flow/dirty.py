@@ -1,0 +1,532 @@
+"""MEGH011 — dirty-flag / mutation-counter invalidation discipline.
+
+The bit-equality keystones of the vectorized rewrites are *invalidation
+invariants*: every write to a ``DatacenterArrays`` hot-state vector must
+set the paired dirty flag before the next aggregate query, every write
+to ``SparseMatrix``'s backing store must bump ``mutations``, and every
+external ``RewardVector`` write must report the touched index.  A
+missed invalidation does not crash — it serves a *stale aggregate*,
+which silently changes scheduling decisions and breaks the golden
+traces.
+
+This pass checks the declared field→flag table
+(:mod:`repro.analysis.flow.invariants`) with a path-sensitive walk over
+each function body: a mutation creates an *obligation* (the flags still
+owed for that receiver), mark calls / direct flag writes / counter
+bumps discharge it, and any path reaching function exit (including
+early ``return``/``raise``) with an undischarged obligation is a
+finding.  Branches are merged conservatively — a flag is only
+considered set after an ``if`` when **both** arms set it — which is
+precisely how "mutates on one branch, marks on the other" bugs surface.
+
+Marks are recognized by declaration (the table) plus a closure over the
+declaring class's own methods: a helper method whose body transitively
+calls ``mark_demand_dirty`` counts as marking ``_demand_dirty``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.invariants import (
+    MUTATION_INVARIANTS,
+    MutationInvariant,
+)
+from repro.analysis.flow.project import (
+    FunctionInfo,
+    Project,
+    dotted_name,
+)
+
+__all__ = ["check_dirty_flags"]
+
+#: Container-method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "fill",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "remove",
+        "discard",
+        "append",
+        "extend",
+        "insert",
+        "sort",
+        "resize",
+    }
+)
+
+#: Constructor-like methods exempt for every invariant: they initialize
+#: state before any query can observe it (flags start dirty by design).
+_EXEMPT_EVERYWHERE = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass
+class _Obligation:
+    """Flags still owed for one mutation event on one receiver."""
+
+    node: ast.AST
+    invariant: MutationInvariant
+    field_name: str
+    receiver: str
+    remaining: FrozenSet[str]
+
+    def key(self) -> Tuple[int, str]:
+        return (id(self.node), self.field_name)
+
+
+@dataclass
+class _PathState:
+    """What this execution path has mutated and already marked."""
+
+    pending: Dict[Tuple[int, str], _Obligation] = field(default_factory=dict)
+    #: (class_name, receiver) -> flags already set on this path.
+    marked: Dict[Tuple[str, str], FrozenSet[str]] = field(default_factory=dict)
+    #: (class_name, receiver) pairs whose counter was already bumped.
+    counters: Set[Tuple[str, str]] = field(default_factory=set)
+    terminated: bool = False
+
+    def clone(self) -> "_PathState":
+        return _PathState(
+            pending={key: replace(value) for key, value in self.pending.items()},
+            marked=dict(self.marked),
+            counters=set(self.counters),
+            terminated=self.terminated,
+        )
+
+
+def _merge(states: Sequence[_PathState]) -> _PathState:
+    """Join after branching: obligations union, marks intersect."""
+    live = [state for state in states if not state.terminated]
+    if not live:
+        merged = _PathState()
+        merged.terminated = True
+        return merged
+    merged = live[0].clone()
+    for state in live[1:]:
+        for key, obligation in state.pending.items():
+            if key in merged.pending:
+                merged.pending[key].remaining = frozenset(
+                    merged.pending[key].remaining | obligation.remaining
+                )
+            else:
+                merged.pending[key] = replace(obligation)
+        merged.marked = {
+            receiver: flags & state.marked.get(receiver, frozenset())
+            for receiver, flags in merged.marked.items()
+            if receiver in state.marked
+        }
+        merged.counters &= state.counters
+    return merged
+
+
+def _mark_closure(
+    project: Project, invariant: MutationInvariant
+) -> Dict[str, FrozenSet[str]]:
+    """Method name -> flags it (transitively) sets on ``self``.
+
+    Starts from the declared mark table and grows through the declaring
+    class's own methods, so helpers that delegate to a declared mark
+    count too.  When the class is not part of the analyzed project
+    (e.g. a lone file linted in isolation) the declared table stands.
+    """
+    closure: Dict[str, FrozenSet[str]] = dict(invariant.marks)
+    info = None
+    for class_info in project.classes.values():
+        if class_info.name == invariant.class_name:
+            info = class_info
+            break
+    if info is None:
+        return closure
+    for _ in range(len(info.methods) + 1):
+        changed = False
+        for name, method in info.methods.items():
+            flags: Set[str] = set(closure.get(name, frozenset()))
+            before = len(flags)
+            for node in ast.walk(method.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in closure
+                ):
+                    flags |= closure[node.func.attr]
+                elif (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is True
+                ):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr in invariant.flag_attrs
+                        ):
+                            flags.add(target.attr)
+            if len(flags) != before:
+                closure[name] = frozenset(flags)
+                changed = True
+        if not changed:
+            break
+    return closure
+
+
+class _FunctionChecker:
+    """Path-sensitive obligation walk over one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        function: FunctionInfo,
+        invariants: Sequence[MutationInvariant],
+        closures: Dict[str, Dict[str, FrozenSet[str]]],
+    ) -> None:
+        self.project = project
+        self.function = function
+        self.closures = closures
+        self.findings: List[Diagnostic] = []
+        self._reported: Set[Tuple[int, str]] = set()
+        self.invariants = [
+            invariant
+            for invariant in invariants
+            if self._applies(invariant)
+        ]
+
+    def _applies(self, invariant: MutationInvariant) -> bool:
+        name = self.function.name
+        if name in _EXEMPT_EVERYWHERE:
+            return False
+        if self.function.class_name == invariant.class_name and (
+            name in invariant.exempt_methods
+        ):
+            return False
+        if invariant.scope == "class":
+            return self.function.class_name == invariant.class_name
+        return True
+
+    # -- event extraction ------------------------------------------------
+    def _receiver_of(self, expression: ast.expr) -> Optional[str]:
+        return dotted_name(expression)
+
+    def _field_target(
+        self, expression: ast.expr
+    ) -> Optional[Tuple[MutationInvariant, str, str]]:
+        """(invariant, field, receiver) when ``expression`` is a store
+        into a declared field (``recv.field`` or ``recv.field[...]``)."""
+        if isinstance(expression, ast.Subscript):
+            expression = expression.value
+        if not isinstance(expression, ast.Attribute):
+            return None
+        for invariant in self.invariants:
+            if expression.attr in invariant.fields:
+                receiver = self._receiver_of(expression.value)
+                if receiver is not None:
+                    return invariant, expression.attr, receiver
+        return None
+
+    def _statement_events(
+        self, statement: ast.stmt
+    ) -> Tuple[
+        List[Tuple[ast.AST, MutationInvariant, str, str]],
+        List[Tuple[MutationInvariant, str, FrozenSet[str]]],
+        List[Tuple[MutationInvariant, str]],
+    ]:
+        """(mutations, marks, counter_bumps) found in one statement."""
+        mutations: List[Tuple[ast.AST, MutationInvariant, str, str]] = []
+        marks: List[Tuple[MutationInvariant, str, FrozenSet[str]]] = []
+        counters: List[Tuple[MutationInvariant, str]] = []
+        for node in _walk_shallow(statement):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._collect_store(
+                        node, target, node.value, mutations, marks, counters
+                    )
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node, ast.AnnAssign) and node.value is None:
+                    continue
+                self._collect_store(
+                    node, node.target, node.value, mutations, marks, counters
+                )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    found = self._field_target(target)
+                    if found is not None:
+                        mutations.append((node, *found))
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                attribute = node.func
+                # recv.mark_x() / recv.helper() / recv._on_external_write(k)
+                receiver = self._receiver_of(attribute.value)
+                if receiver is not None:
+                    for invariant in self.invariants:
+                        closure = self.closures.get(
+                            invariant.class_name, invariant.marks
+                        )
+                        flags = closure.get(attribute.attr)
+                        if flags:
+                            marks.append((invariant, receiver, flags))
+                # recv.field.fill(...) — mutating container method.
+                if attribute.attr in _MUTATING_METHODS:
+                    found = self._field_target(attribute.value)
+                    if found is not None:
+                        mutations.append((node, *found))
+        return mutations, marks, counters
+
+    def _collect_store(
+        self,
+        statement: ast.AST,
+        target: ast.expr,
+        value: Optional[ast.expr],
+        mutations: List[Tuple[ast.AST, MutationInvariant, str, str]],
+        marks: List[Tuple[MutationInvariant, str, FrozenSet[str]]],
+        counters: List[Tuple[MutationInvariant, str]],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._collect_store(
+                    statement, element, value, mutations, marks, counters
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            receiver = self._receiver_of(target.value)
+            if receiver is not None:
+                for invariant in self.invariants:
+                    if (
+                        invariant.counter is not None
+                        and target.attr == invariant.counter
+                    ):
+                        counters.append((invariant, receiver))
+                        return
+                    if target.attr in invariant.flag_attrs and (
+                        isinstance(value, ast.Constant)
+                        and value.value is True
+                    ):
+                        marks.append(
+                            (invariant, receiver, frozenset({target.attr}))
+                        )
+                        return
+        found = self._field_target(target)
+        if found is not None:
+            mutations.append((statement, *found))
+
+    # -- path walk -------------------------------------------------------
+    def check(self) -> List[Diagnostic]:
+        if not self.invariants:
+            return []
+        final = self._walk(self.function.body(), _PathState())
+        self._finalize(final)
+        return self.findings
+
+    def _walk(
+        self, statements: Sequence[ast.stmt], state: _PathState
+    ) -> _PathState:
+        for statement in statements:
+            if state.terminated:
+                break
+            state = self._step(statement, state)
+        return state
+
+    def _apply_events(
+        self, statement: ast.stmt, state: _PathState
+    ) -> None:
+        mutations, marks, counters = self._statement_events(statement)
+        for node, invariant, field_name, receiver in mutations:
+            required = invariant.fields[field_name]
+            key = (invariant.class_name, receiver)
+            already = state.marked.get(key, frozenset())
+            remaining = frozenset(required - already)
+            counter_done = (
+                invariant.counter is not None and key in state.counters
+            )
+            if not remaining or counter_done:
+                continue
+            obligation = _Obligation(
+                node=node,
+                invariant=invariant,
+                field_name=field_name,
+                receiver=receiver,
+                remaining=remaining,
+            )
+            existing = state.pending.get(obligation.key())
+            if existing is None:
+                state.pending[obligation.key()] = obligation
+        for invariant, receiver, flags in marks:
+            key = (invariant.class_name, receiver)
+            state.marked[key] = state.marked.get(key, frozenset()) | flags
+            for obligation in list(state.pending.values()):
+                if (
+                    obligation.invariant.class_name == invariant.class_name
+                    and obligation.receiver == receiver
+                ):
+                    obligation.remaining = frozenset(
+                        obligation.remaining - flags
+                    )
+                    if not obligation.remaining:
+                        del state.pending[obligation.key()]
+        for invariant, receiver in counters:
+            key = (invariant.class_name, receiver)
+            state.counters.add(key)
+            for obligation in list(state.pending.values()):
+                if (
+                    obligation.invariant.class_name == invariant.class_name
+                    and obligation.receiver == receiver
+                    and obligation.invariant.counter is not None
+                ):
+                    del state.pending[obligation.key()]
+
+    def _step(self, statement: ast.stmt, state: _PathState) -> _PathState:
+        if isinstance(statement, ast.If):
+            self._apply_events_expression(statement.test, state)
+            then_state = self._walk(statement.body, state.clone())
+            else_state = self._walk(statement.orelse, state.clone())
+            return _merge([then_state, else_state])
+        if isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+            if isinstance(statement, ast.While):
+                self._apply_events_expression(statement.test, state)
+            else:
+                self._apply_events_expression(statement.iter, state)
+            body_state = self._walk(statement.body, state.clone())
+            merged = _merge([body_state, state])
+            return self._walk(statement.orelse, merged)
+        if isinstance(statement, ast.Try):
+            body_state = self._walk(statement.body, state.clone())
+            else_state = self._walk(
+                statement.orelse,
+                body_state.clone() if not body_state.terminated else body_state,
+            )
+            handler_entry = _merge([state, body_state])
+            ends = [else_state]
+            for handler in statement.handlers:
+                ends.append(self._walk(handler.body, handler_entry.clone()))
+            merged = _merge(ends)
+            return self._walk(statement.finalbody, merged)
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._apply_events_expression(item.context_expr, state)
+            return self._walk(statement.body, state)
+        if isinstance(statement, ast.Return):
+            self._apply_events(statement, state)
+            self._finalize(state)
+            state.terminated = True
+            return state
+        if isinstance(statement, ast.Raise):
+            self._apply_events(statement, state)
+            self._finalize(state)
+            state.terminated = True
+            return state
+        if isinstance(statement, (ast.Break, ast.Continue)):
+            # Conservative: treat like a join point; obligations stay
+            # pending and are checked at function exit.
+            return state
+        self._apply_events(statement, state)
+        return state
+
+    def _apply_events_expression(
+        self, expression: Optional[ast.expr], state: _PathState
+    ) -> None:
+        if expression is None:
+            return
+        holder = ast.Expr(value=expression)
+        ast.copy_location(holder, expression)
+        self._apply_events(holder, state)
+
+    def _finalize(self, state: _PathState) -> None:
+        for obligation in state.pending.values():
+            if not obligation.remaining:
+                continue
+            key = obligation.key()
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            invariant = obligation.invariant
+            if invariant.counter is not None:
+                repair = f"bump {obligation.receiver}.{invariant.counter}"
+            elif invariant.marks:
+                candidates = sorted(
+                    mark
+                    for mark, flags in invariant.marks.items()
+                    if obligation.remaining & flags
+                )
+                repair = (
+                    f"call {obligation.receiver}."
+                    + (candidates[0] if candidates else "<mark>")
+                    + "()"
+                )
+            else:
+                repair = "set the paired flag"
+            flags_text = ", ".join(sorted(obligation.remaining))
+            self.findings.append(
+                Diagnostic(
+                    path=self.function.module.path,
+                    line=getattr(obligation.node, "lineno", 1),
+                    column=getattr(obligation.node, "col_offset", 0) + 1,
+                    rule_id="MEGH011",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{invariant.class_name}.{obligation.field_name} "
+                        "mutated without invalidating "
+                        f"[{flags_text}] on every path to exit; {repair} "
+                        "(declared field-to-flag table: "
+                        "repro/analysis/flow/invariants.py)"
+                    ),
+                )
+            )
+
+
+def _walk_shallow(node: ast.AST) -> List[ast.AST]:
+    """Walk one statement without descending into nested defs/lambdas
+    or compound-statement bodies (those are walked path-sensitively)."""
+    found: List[ast.AST] = []
+    stack: List[ast.AST] = [node]
+    compound = (
+        ast.If,
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.Try,
+        ast.With,
+        ast.AsyncWith,
+    )
+    while stack:
+        current = stack.pop()
+        found.append(current)
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                    ast.Lambda,
+                ),
+            ):
+                continue
+            if isinstance(current, compound) and isinstance(child, ast.stmt):
+                continue
+            stack.append(child)
+    return found
+
+
+def check_dirty_flags(project: Project) -> List[Diagnostic]:
+    """Run MEGH011 over every analyzable body in the project."""
+    closures = {
+        invariant.class_name: _mark_closure(project, invariant)
+        for invariant in MUTATION_INVARIANTS
+    }
+    diagnostics: List[Diagnostic] = []
+    for function in project.iter_functions():
+        checker = _FunctionChecker(
+            project, function, MUTATION_INVARIANTS, closures
+        )
+        diagnostics.extend(checker.check())
+    return diagnostics

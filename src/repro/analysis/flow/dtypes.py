@@ -1,0 +1,512 @@
+"""MEGH012 — dtype and broadcast discipline in the vectorized hot paths.
+
+The vectorized simulator and LSTD cores are bit-equal to the reference
+implementations only while every array keeps its canonical dtype
+(float64 state, int64 ids/counts, bool masks) and every elementwise
+combination pairs same-axis vectors (N per-VM with N, M per-PM with M).
+The classic regressions are silent: an ``np.zeros(n, dtype=int)``
+accumulator truncates, an ``int32`` index array overflows on large
+fleets, a Python-scalar ``sum()`` over an ndarray reassociates the
+reduction, and an N-vs-M broadcast either raises at runtime on unlucky
+sizes or — worse — broadcasts "successfully" with wrong semantics when
+N == M in a small test.
+
+This pass runs a small abstract interpretation over each function body
+in the declared hot packages, propagating :class:`ArrayType`
+(dtype, axis) facts from the declared field/method tables
+(:mod:`repro.analysis.flow.invariants`) through names, attributes,
+``np.*`` constructors, and arithmetic.  Checks:
+
+``A`` non-canonical dtype creation (``dtype=np.float32`` / ``int`` /
+      ``np.int32`` in a hot module) — error.
+``B`` elementwise arithmetic/comparison between a known N-axis and a
+      known M-axis operand — error.
+``C`` arithmetic mixing an int64 array with a float64 array (implicit
+      upcast: legal but a bit-identity hazard in accumulation) —
+      warning.
+``D`` in-place (``+=`` etc. or ``out=``) float result into an int64
+      target — error (silent truncation).
+``E`` Python-level reduction (built-in ``sum``/``min``/``max``) over a
+      known ndarray — warning (scalar loop: slow and reassociates).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.invariants import (
+    AXIS_SIZE_NAMES,
+    ArrayType,
+    FIELD_TYPES,
+    METHOD_TYPES,
+)
+from repro.analysis.flow.project import FunctionInfo, Project, dotted_name
+
+__all__ = ["check_dtype_discipline", "HOT_PREFIXES"]
+
+#: Packages whose arithmetic is bit-identity-critical.
+HOT_PREFIXES = ("repro.core", "repro.cloudsim")
+
+#: dtype spellings that are canonical in the hot paths.
+_CANONICAL_DTYPES = frozenset(
+    {"float64", "int64", "bool", "bool_", "numpy.float64", "numpy.int64"}
+)
+
+#: dtype spellings that are never acceptable in hot-path array creation.
+_BAD_DTYPES = {
+    "float32": "float32",
+    "float16": "float16",
+    "int32": "int32",
+    "int16": "int16",
+    "int8": "int8",
+    "uint8": "uint8",
+    "uint32": "uint32",
+    "int": "platform int",
+    "float": "python float (use float64 explicitly)",
+}
+
+#: numpy constructors whose first positional argument is a shape/size.
+_ARRAY_FACTORIES = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "zeros_like", "ones_like",
+     "empty_like", "full_like"}
+)
+
+_FLOAT_FACTORIES = frozenset({"zeros", "ones", "empty", "full"})
+
+#: Python builtins that reduce an iterable with a scalar loop.
+_PY_REDUCTIONS = frozenset({"sum", "min", "max"})
+
+#: Elementwise binary ops tracked for axis/dtype mixing.
+_ELEMENTWISE = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+
+
+class _FunctionDtypes:
+    """Abstract dtype/axis interpretation over one function body."""
+
+    def __init__(self, function: FunctionInfo) -> None:
+        self.function = function
+        self.findings: List[Diagnostic] = []
+        self._reported: Set[Tuple[int, int, str]] = set()
+        #: Local name -> inferred ArrayType.
+        self.env: Dict[str, ArrayType] = {}
+
+    # -- reporting -------------------------------------------------------
+    def _report(
+        self, node: ast.AST, message: str, severity: Severity
+    ) -> None:
+        # ``run`` walks every node, so an inner expression can be
+        # re-evaluated as part of its parent; report each site once.
+        key = (
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(
+            Diagnostic(
+                path=self.function.module.path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0) + 1,
+                rule_id="MEGH012",
+                severity=severity,
+                message=message,
+            )
+        )
+
+    # -- abstract evaluation ---------------------------------------------
+    def type_of(self, expression: ast.expr) -> Optional[ArrayType]:
+        """Inferred (dtype, axis) of an expression, or None if unknown."""
+        if isinstance(expression, ast.Name):
+            return self.env.get(expression.id)
+        if isinstance(expression, ast.Attribute):
+            declared = FIELD_TYPES.get(expression.attr)
+            if declared is not None:
+                return declared
+            return None
+        if isinstance(expression, ast.Subscript):
+            base = self.type_of(expression.value)
+            if base is None:
+                return None
+            # Boolean/fancy indexing keeps dtype; axis becomes unknown
+            # (a mask selects a subset), scalar index drops the array.
+            index = expression.slice
+            if isinstance(index, ast.Constant) or (
+                isinstance(index, ast.UnaryOp)
+                and isinstance(index.operand, ast.Constant)
+            ):
+                return None
+            return ArrayType(base.dtype, "?")
+        if isinstance(expression, ast.Call):
+            return self._type_of_call(expression)
+        if isinstance(expression, ast.BinOp) and isinstance(
+            expression.op, _ELEMENTWISE
+        ):
+            left = self.type_of(expression.left)
+            right = self.type_of(expression.right)
+            self._check_binop(expression, left, right)
+            return _combine(left, right, expression.op)
+        if isinstance(expression, ast.UnaryOp):
+            return self.type_of(expression.operand)
+        if isinstance(expression, ast.Compare):
+            operand_types = [self.type_of(expression.left)] + [
+                self.type_of(comparator)
+                for comparator in expression.comparators
+            ]
+            known = [operand for operand in operand_types if operand]
+            axes = {operand.axis for operand in known if operand.axis != "?"}
+            if len(axes) > 1:
+                self._report(
+                    expression,
+                    "comparison between a per-VM (N) and a per-PM (M) "
+                    "vector; align axes explicitly (index by host_of or "
+                    "aggregate first)",
+                    Severity.ERROR,
+                )
+            if known:
+                axis = known[0].axis if len(axes) <= 1 and axes else "?"
+                return ArrayType("bool", axis)
+            return None
+        if isinstance(expression, ast.IfExp):
+            then_type = self.type_of(expression.body)
+            return then_type if then_type is not None else self.type_of(
+                expression.orelse
+            )
+        return None
+
+    def _type_of_call(self, call: ast.Call) -> Optional[ArrayType]:
+        name = dotted_name(call.func)
+        method = (
+            call.func.attr if isinstance(call.func, ast.Attribute) else None
+        )
+        if method in METHOD_TYPES:
+            return METHOD_TYPES[method]
+        if name is None:
+            return None
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _ARRAY_FACTORIES and _is_numpy_call(name):
+            dtype = self._declared_dtype(call)
+            self._check_creation_dtype(call, dtype)
+            axis = self._axis_from_size(call)
+            if dtype is None:
+                dtype = "float64" if tail in _FLOAT_FACTORIES else "?"
+            return ArrayType(_normalize_dtype(dtype), axis)
+        if tail in {"asarray", "array", "ascontiguousarray"} and _is_numpy_call(
+            name
+        ):
+            dtype = self._declared_dtype(call)
+            self._check_creation_dtype(call, dtype)
+            if dtype is not None:
+                return ArrayType(_normalize_dtype(dtype), "?")
+            if call.args:
+                return self.type_of(call.args[0])
+            return None
+        if tail == "astype" and isinstance(call.func, ast.Attribute):
+            base = self.type_of(call.func.value)
+            dtype = (
+                _dtype_text(call.args[0])
+                if call.args
+                else self._declared_dtype(call)
+            )
+            self._check_creation_dtype(call, dtype)
+            if dtype is None:
+                return None
+            axis = base.axis if base is not None else "?"
+            return ArrayType(_normalize_dtype(dtype), axis)
+        if tail == "bincount" and _is_numpy_call(name):
+            # Ascending-id bincount: result indexed by PM id in this
+            # codebase; dtype follows the weights argument.
+            for keyword in call.keywords:
+                if keyword.arg == "weights":
+                    weights = self.type_of(keyword.value)
+                    dtype = weights.dtype if weights else "float64"
+                    return ArrayType(dtype, "M")
+            return ArrayType("int64", "M")
+        if tail in {"where", "maximum", "minimum", "clip"} and _is_numpy_call(
+            name
+        ):
+            operand_types = [self.type_of(argument) for argument in call.args]
+            known = [operand for operand in operand_types if operand]
+            axes = {operand.axis for operand in known if operand.axis != "?"}
+            if len(axes) > 1:
+                self._report(
+                    call,
+                    f"numpy.{tail} mixes a per-VM (N) and a per-PM (M) "
+                    "operand; align axes explicitly",
+                    Severity.ERROR,
+                )
+            if known:
+                return known[-1]
+            return None
+        return None
+
+    def _declared_dtype(self, call: ast.Call) -> Optional[str]:
+        for keyword in call.keywords:
+            if keyword.arg == "dtype":
+                return _dtype_text(keyword.value)
+        return None
+
+    def _axis_from_size(self, call: ast.Call) -> str:
+        if not call.args:
+            return "?"
+        size = call.args[0]
+        if isinstance(size, ast.Attribute):
+            return AXIS_SIZE_NAMES.get(size.attr, "?")
+        if isinstance(size, ast.Name):
+            return AXIS_SIZE_NAMES.get(size.id, "?")
+        if isinstance(size, ast.Call) and isinstance(size.func, ast.Name):
+            if size.func.id == "len" and size.args:
+                inner = self.type_of(size.args[0])
+                if inner is not None:
+                    return inner.axis
+        return "?"
+
+    # -- checks ----------------------------------------------------------
+    def _check_creation_dtype(
+        self, call: ast.Call, dtype: Optional[str]
+    ) -> None:
+        """Check A: non-canonical dtype in hot-path array creation."""
+        if dtype is None:
+            return
+        normalized = dtype.rsplit(".", 1)[-1]
+        if normalized in _BAD_DTYPES:
+            self._report(
+                call,
+                f"array created with non-canonical dtype {dtype!r} "
+                f"({_BAD_DTYPES[normalized]}) in a bit-identity-critical "
+                "module; use float64/int64/bool",
+                Severity.ERROR,
+            )
+
+    def _check_binop(
+        self,
+        node: ast.BinOp,
+        left: Optional[ArrayType],
+        right: Optional[ArrayType],
+    ) -> None:
+        if left is None or right is None:
+            return
+        # Check B: N-vs-M broadcast.
+        if (
+            left.axis != right.axis
+            and left.axis in ("N", "M")
+            and right.axis in ("N", "M")
+        ):
+            self._report(
+                node,
+                "elementwise op between a per-VM (N) and a per-PM (M) "
+                "vector broadcasts incompatibly (or silently 'works' when "
+                "N == M); gather via host_of or aggregate first",
+                Severity.ERROR,
+            )
+            return
+        # Check C: int64 array mixed with float64 array (implicit upcast).
+        dtypes = {left.dtype, right.dtype}
+        if dtypes == {"int64", "float64"} and not isinstance(
+            node.op, (ast.Div, ast.Pow)
+        ):
+            self._report(
+                node,
+                "arithmetic mixes an int64 array with a float64 array; "
+                "the implicit upcast is a bit-identity hazard — convert "
+                "explicitly with .astype(np.float64)",
+                Severity.WARNING,
+            )
+
+    def _check_store(
+        self, node: ast.AST, target: ast.expr, value_type: Optional[ArrayType]
+    ) -> None:
+        """Check D: float result stored in-place into an int64 array."""
+        if value_type is None or value_type.dtype != "float64":
+            return
+        target_type: Optional[ArrayType] = None
+        if isinstance(target, ast.Subscript):
+            target_type = self.type_of(target.value)
+        elif isinstance(target, (ast.Name, ast.Attribute)):
+            target_type = self.type_of(target)
+            if isinstance(target, ast.Name) and not isinstance(
+                node, ast.AugAssign
+            ):
+                return  # rebinding a name is fine; only += truncates
+        if target_type is not None and target_type.dtype == "int64":
+            self._report(
+                node,
+                "float64 value written in place into an int64 array "
+                "silently truncates; cast explicitly or keep the store "
+                "integral",
+                Severity.ERROR,
+            )
+
+    def _check_reduction(self, call: ast.Call) -> None:
+        """Check E: Python built-in reduction over a known ndarray."""
+        if not isinstance(call.func, ast.Name):
+            return
+        if call.func.id not in _PY_REDUCTIONS or not call.args:
+            return
+        argument = call.args[0]
+        if isinstance(argument, (ast.GeneratorExp, ast.ListComp)):
+            # Reductions over comprehensions are scalar by intent.
+            return
+        operand = self.type_of(argument)
+        if operand is not None:
+            self._report(
+                call,
+                f"built-in {call.func.id}() over an ndarray runs a Python "
+                "scalar loop and reassociates the reduction; use "
+                f"numpy.{call.func.id} / ndarray.{call.func.id}()",
+                Severity.WARNING,
+            )
+
+    # -- driver ----------------------------------------------------------
+    def run(self) -> List[Diagnostic]:
+        for statement in self.function.body():
+            for node in ast.walk(statement):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs get their own FunctionInfo
+                if isinstance(node, ast.Assign):
+                    value_type = self.type_of(node.value)
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            if value_type is not None:
+                                self.env[target.id] = value_type
+                            else:
+                                self.env.pop(target.id, None)
+                        else:
+                            self._check_store(node, target, value_type)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    value_type = self.type_of(node.value)
+                    if isinstance(node.target, ast.Name):
+                        if value_type is not None:
+                            self.env[node.target.id] = value_type
+                    else:
+                        self._check_store(node, node.target, value_type)
+                elif isinstance(node, ast.AugAssign):
+                    value_type = self.type_of(node.value)
+                    self._check_store(node, node.target, value_type)
+                    left = self.type_of(_load_copy(node.target))
+                    if left is not None and value_type is not None:
+                        probe = ast.BinOp(
+                            left=_load_copy(node.target),
+                            op=node.op,
+                            right=node.value,
+                        )
+                        ast.copy_location(probe, node)
+                        if isinstance(node.op, _ELEMENTWISE):
+                            self._check_binop(probe, left, value_type)
+                elif isinstance(node, ast.Call):
+                    self._check_reduction(node)
+                    self.type_of(node)  # triggers creation/axis checks
+                elif isinstance(node, (ast.BinOp, ast.Compare)):
+                    self.type_of(node)
+        return self.findings
+
+
+def _load_copy(target: ast.expr) -> ast.expr:
+    """A Load-context copy of a store target, for re-evaluation.
+
+    Built by node copy, not ``ast.parse`` — the engine's parse-once
+    contract (one ``ast.parse`` per file, asserted by the test suite)
+    covers the flow pass too.
+    """
+    copied = copy.deepcopy(target)
+    for node in ast.walk(copied):
+        if isinstance(
+            node,
+            (
+                ast.Name,
+                ast.Attribute,
+                ast.Subscript,
+                ast.Starred,
+                ast.Tuple,
+                ast.List,
+            ),
+        ):
+            node.ctx = ast.Load()
+    return copied
+
+
+def _combine(
+    left: Optional[ArrayType],
+    right: Optional[ArrayType],
+    op: ast.operator,
+) -> Optional[ArrayType]:
+    if left is None and right is None:
+        return None
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if isinstance(op, ast.Div):
+        dtype = "float64"
+    elif left.dtype == right.dtype:
+        dtype = left.dtype
+    elif {left.dtype, right.dtype} == {"int64", "float64"}:
+        dtype = "float64"
+    elif "bool" in (left.dtype, right.dtype):
+        dtype = left.dtype if right.dtype == "bool" else right.dtype
+    else:
+        dtype = "?"
+    if left.axis == right.axis:
+        axis = left.axis
+    elif left.axis == "?":
+        axis = right.axis
+    elif right.axis == "?":
+        axis = left.axis
+    else:
+        axis = "?"
+    return ArrayType(dtype, axis)
+
+
+def _normalize_dtype(dtype: str) -> str:
+    tail = dtype.rsplit(".", 1)[-1]
+    if tail in ("bool_", "bool8"):
+        return "bool"
+    return tail
+
+
+def _dtype_text(expression: ast.expr) -> Optional[str]:
+    name = dotted_name(expression)
+    if name is not None:
+        return name
+    if isinstance(expression, ast.Constant) and isinstance(
+        expression.value, str
+    ):
+        return expression.value
+    return None
+
+
+def _is_numpy_call(dotted: str) -> bool:
+    head = dotted.split(".", 1)[0]
+    return head in ("np", "numpy")
+
+
+def _in_hot_package(function: FunctionInfo, prefixes: Sequence[str]) -> bool:
+    module = function.module.name
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def check_dtype_discipline(
+    project: Project, prefixes: Sequence[str] = HOT_PREFIXES
+) -> List[Diagnostic]:
+    """Run MEGH012 over every function in the hot packages."""
+    diagnostics: List[Diagnostic] = []
+    for function in project.iter_functions():
+        if not _in_hot_package(function, prefixes):
+            continue
+        diagnostics.extend(_FunctionDtypes(function).run())
+    return diagnostics

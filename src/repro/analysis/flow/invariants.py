@@ -1,0 +1,195 @@
+"""Declared invariant tables consumed by the flow rules.
+
+These tables are the *specification* the analyzers check code against —
+the contract prose of ``repro/cloudsim/soa.py`` ("mutations only flip a
+dirty flag"), ``repro/core/sparse.py`` ("``mutations`` counts every
+state change"), and ``repro/core/lstd.py`` ("every external write
+reports the touched index") written down as data.  MEGH011 derives its
+obligations from :data:`MUTATION_INVARIANTS`; MEGH012 reads the declared
+dtypes/axes from :data:`FIELD_TYPES` and :data:`METHOD_TYPES`.
+
+Keeping the tables here, rather than inferring them from the source,
+is deliberate: if a refactor renames a field or adds an aggregate, the
+table must be updated in the same PR, and the self-analysis test
+(``tests/analysis/test_self_lint.py``) fails loudly until the
+declaration and the code agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+__all__ = [
+    "MutationInvariant",
+    "MUTATION_INVARIANTS",
+    "ArrayType",
+    "FIELD_TYPES",
+    "METHOD_TYPES",
+    "AXIS_SIZE_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class MutationInvariant:
+    """Field→flag contract for one lazily-invalidated class.
+
+    Attributes:
+        class_name: The owning class (matched by name in fixtures too).
+        fields: Array/container field -> set of invalidation *flags*
+            that must be set on every path after a mutation.
+        marks: Mark-method name -> the flags that calling it sets.
+        flag_attrs: Flags that may also be satisfied by a direct
+            ``receiver.<flag> = True`` assignment.
+        counter: A monotone counter attribute; bumping it satisfies
+            *every* field's obligation (SparseMatrix.mutations style).
+        scope: ``"global"`` — the field names are distinctive enough to
+            match on any receiver anywhere in the project (the
+            DatacenterArrays vectors); ``"class"`` — only match inside
+            methods of the declaring class (SparseMatrix internals use
+            generic names like ``_data``).
+        exempt_methods: Methods of the declaring class never analyzed
+            (constructors initialize; flags start dirty by design).
+    """
+
+    class_name: str
+    fields: Mapping[str, FrozenSet[str]]
+    marks: Mapping[str, FrozenSet[str]]
+    flag_attrs: FrozenSet[str] = frozenset()
+    counter: Optional[str] = None
+    scope: str = "global"
+    exempt_methods: FrozenSet[str] = frozenset({"__init__"})
+
+
+_ALL_PM_AGGREGATES = frozenset(
+    {"_ram_dirty", "_demand_dirty", "_bw_dirty", "_delivered_dirty"}
+)
+
+#: ``DatacenterArrays``: every hot-state vector that feeds a lazily
+#: rebuilt per-PM aggregate, paired with the dirty flag(s) guarding it.
+#: ``pm_vm_count`` (exact integer, maintained incrementally),
+#: ``pm_asleep``, and the per-PM capacity vectors (read fresh on every
+#: derived-utilization call, never cached) carry no flag on purpose.
+_DATACENTER_ARRAYS = MutationInvariant(
+    class_name="DatacenterArrays",
+    fields={
+        "host_of": _ALL_PM_AGGREGATES,
+        "vm_demand": frozenset({"_demand_dirty"}),
+        "vm_delivered": frozenset({"_delivered_dirty"}),
+        "vm_bw_demand": frozenset({"_bw_dirty"}),
+        "vm_active": frozenset(
+            {"_demand_dirty", "_bw_dirty", "_delivered_dirty"}
+        ),
+        "vm_mips": frozenset({"_demand_dirty", "_delivered_dirty"}),
+        "vm_ram_mb": frozenset({"_ram_dirty"}),
+        "vm_bandwidth_mbps": frozenset({"_bw_dirty"}),
+    },
+    marks={
+        "mark_placement_dirty": _ALL_PM_AGGREGATES,
+        "mark_demand_dirty": frozenset({"_demand_dirty"}),
+        "mark_bw_dirty": frozenset({"_bw_dirty"}),
+        "mark_delivered_dirty": frozenset({"_delivered_dirty"}),
+        "mark_activity_dirty": frozenset(
+            {"_demand_dirty", "_bw_dirty", "_delivered_dirty"}
+        ),
+    },
+    flag_attrs=_ALL_PM_AGGREGATES,
+    counter=None,
+    scope="global",
+)
+
+#: ``SparseMatrix``: any write to the backing store must bump the
+#: ``mutations`` counter so the dirty-row theta cache can detect
+#: out-of-band writes.  Scope is "class": the field names are generic
+#: and all mutation happens inside the class by design.
+_SPARSE_MATRIX = MutationInvariant(
+    class_name="SparseMatrix",
+    fields={
+        "_diag": frozenset({"mutations"}),
+        "_rows": frozenset({"mutations"}),
+        "_cols": frozenset({"mutations"}),
+        "_nnz": frozenset({"mutations"}),
+    },
+    marks={},
+    flag_attrs=frozenset(),
+    counter="mutations",
+    scope="class",
+)
+
+#: ``RewardVector``: every external write must report the touched index
+#: through ``_on_external_write`` so dependent theta rows invalidate.
+_REWARD_VECTOR = MutationInvariant(
+    class_name="RewardVector",
+    fields={
+        "_data": frozenset({"_on_external_write"}),
+        "_dense": frozenset({"_on_external_write"}),
+    },
+    marks={"_on_external_write": frozenset({"_on_external_write"})},
+    flag_attrs=frozenset(),
+    counter=None,
+    scope="class",
+)
+
+MUTATION_INVARIANTS: Tuple[MutationInvariant, ...] = (
+    _DATACENTER_ARRAYS,
+    _SPARSE_MATRIX,
+    _REWARD_VECTOR,
+)
+
+
+# ----------------------------------------------------------------------
+# Declared dtype/axis types for MEGH012
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrayType:
+    """Abstract ndarray type: element dtype plus fleet axis.
+
+    ``axis`` is ``"N"`` (per-VM vector), ``"M"`` (per-PM vector), or
+    ``"?"`` (unknown/neither).  MEGH012 only reports a broadcast
+    mismatch when *both* operands carry a known, different axis.
+    """
+
+    dtype: str
+    axis: str
+
+
+#: Attribute name -> declared type, for the struct-of-arrays fields.
+FIELD_TYPES: Dict[str, ArrayType] = {
+    # DatacenterArrays per-VM state (axis N).
+    "vm_mips": ArrayType("float64", "N"),
+    "vm_ram_mb": ArrayType("float64", "N"),
+    "vm_bandwidth_mbps": ArrayType("float64", "N"),
+    "vm_demand": ArrayType("float64", "N"),
+    "vm_delivered": ArrayType("float64", "N"),
+    "vm_bw_demand": ArrayType("float64", "N"),
+    "vm_active": ArrayType("bool", "N"),
+    "host_of": ArrayType("int64", "N"),
+    # DatacenterArrays per-PM state (axis M).
+    "pm_mips": ArrayType("float64", "M"),
+    "pm_ram_mb": ArrayType("float64", "M"),
+    "pm_bandwidth_mbps": ArrayType("float64", "M"),
+    "pm_asleep": ArrayType("bool", "M"),
+    "pm_vm_count": ArrayType("int64", "M"),
+    "_pm_ram_used": ArrayType("float64", "M"),
+    "_pm_demand_mips": ArrayType("float64", "M"),
+    "_pm_bw_mbps": ArrayType("float64", "M"),
+    "_pm_delivered_mips": ArrayType("float64", "M"),
+}
+
+#: Method name -> declared return type (DatacenterArrays queries).
+METHOD_TYPES: Dict[str, ArrayType] = {
+    "pm_ram_used_mb": ArrayType("float64", "M"),
+    "pm_demand_mips": ArrayType("float64", "M"),
+    "pm_bw_demand_mbps": ArrayType("float64", "M"),
+    "pm_delivered_mips": ArrayType("float64", "M"),
+    "pm_demand_utilization": ArrayType("float64", "M"),
+    "pm_delivered_utilization": ArrayType("float64", "M"),
+    "pm_bw_demand_utilization": ArrayType("float64", "M"),
+    "active_pm_mask": ArrayType("bool", "M"),
+    "overloaded_pm_mask": ArrayType("bool", "M"),
+}
+
+#: Size-argument attribute names that reveal a new array's axis:
+#: ``np.zeros(arrays.num_pms)`` is an M-vector, ``num_vms`` an N-vector.
+AXIS_SIZE_NAMES: Dict[str, str] = {"num_vms": "N", "num_pms": "M"}

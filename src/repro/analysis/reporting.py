@@ -7,9 +7,18 @@ import json
 from repro.analysis.engine import LintResult
 
 
-def render_text(result: LintResult) -> str:
-    """One line per finding plus a summary, ruff/flake8 style."""
+def render_text(result: LintResult, strict: bool = False) -> str:
+    """One line per finding plus a summary, ruff/flake8 style.
+
+    Unused-suppression and stale-baseline notes print after the
+    findings; with ``strict`` they are labelled as failures (the CLI
+    turns them into exit code 1).
+    """
     lines = [diagnostic.format() for diagnostic in result.diagnostics]
+    for diagnostic in result.unused_suppressions:
+        lines.append(diagnostic.format())
+    for note in result.stale_baseline:
+        lines.append(f"stale baseline entry: {note}")
     noun = "file" if result.files_checked == 1 else "files"
     if result.clean:
         summary = f"meghlint: ok — {result.files_checked} {noun} checked"
@@ -21,6 +30,15 @@ def render_text(result: LintResult) -> str:
         )
     if result.suppressed:
         summary += f", {result.suppressed} suppressed"
+    if result.baselined:
+        summary += f", {result.baselined} baselined"
+    hygiene = len(result.unused_suppressions) + len(result.stale_baseline)
+    if hygiene:
+        summary += (
+            f", {hygiene} stale suppression/baseline entr"
+            + ("y" if hygiene == 1 else "ies")
+            + (" (failing: --strict-suppressions)" if strict else "")
+        )
     lines.append(summary)
     return "\n".join(lines)
 
@@ -36,10 +54,17 @@ def render_json(result: LintResult) -> str:
             "errors": result.errors,
             "warnings": result.warnings,
             "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "unused_suppressions": len(result.unused_suppressions),
+            "stale_baseline": len(result.stale_baseline),
             "clean": result.clean,
         },
         "diagnostics": [
             diagnostic.to_dict() for diagnostic in result.diagnostics
         ],
+        "unused_suppressions": [
+            diagnostic.to_dict() for diagnostic in result.unused_suppressions
+        ],
+        "stale_baseline": list(result.stale_baseline),
     }
     return json.dumps(document, indent=2, sort_keys=True)

@@ -8,12 +8,14 @@ paper-style table or series, e.g.::
     megh-repro fig6
     megh-repro list
 
-The ``lint`` subcommand runs meghlint, the project's static-analysis
-pass (see :mod:`repro.analysis` and ``docs/static_analysis.md``)::
+The ``lint`` subcommand runs meghlint — the per-file rules plus the
+whole-program meghflow pass (see :mod:`repro.analysis` and
+``docs/static_analysis.md``)::
 
     repro lint src/ benchmarks/
     repro lint --list-rules
     repro lint --format json src/repro/core
+    repro lint --baseline analysis/baseline.json --strict-suppressions
 
 The ``profile`` subcommand wraps cProfile around a short simulation and
 prints the hottest functions (see ``docs/performance.md``)::

@@ -87,6 +87,7 @@ class VirtualMachine:
         arrays.vm_delivered[index] = self._delivered
         arrays.vm_bw_demand[index] = self._bw_demand
         arrays.vm_active[index] = self._active_flag
+        arrays.mark_placement_dirty()
         self._arrays = arrays
         self._index = index
 
@@ -166,6 +167,7 @@ class VirtualMachine:
             self._active_flag = value
         else:
             arrays.vm_active[self._index] = value
+            arrays.mark_activity_dirty()
 
     @property
     def is_active(self) -> bool:
@@ -204,7 +206,7 @@ class VirtualMachine:
                 arrays.vm_demand[index] = 0.0
                 arrays.vm_delivered[index] = 0.0
                 arrays.vm_bw_demand[index] = 0.0
-                arrays.mark_activity_dirty()
+            arrays.mark_activity_dirty()
 
     @property
     def demanded_mips(self) -> float:

@@ -157,7 +157,7 @@ class ShermanMorrisonAuditor:
         to_dense = getattr(matrix, "to_dense", None)
         if to_dense is not None:
             return to_dense()
-        return np.asarray(matrix, dtype=float)
+        return np.asarray(matrix, dtype=np.float64)
 
     def find_violations(self) -> List[str]:
         """Every broken contract right now (empty = healthy)."""
@@ -172,7 +172,7 @@ class ShermanMorrisonAuditor:
             return violations
         if not np.all(np.isfinite(dense_b)):
             violations.append("inverse operator B has non-finite entries")
-        theta = np.asarray(self.lstd.theta(), dtype=float)
+        theta = np.asarray(self.lstd.theta(), dtype=np.float64)
         if theta.shape != (dimension,):
             violations.append(
                 f"theta has shape {theta.shape}, expected ({dimension},)"

@@ -67,8 +67,8 @@ class RewardVector(MutableMapping):
     def _accumulate(self, key: int, cost: float) -> None:
         """Internal ``z[key] += cost`` (cache already invalidated)."""
         value = self._data.get(key, 0.0) + cost
-        self._data[key] = value
-        self._dense[key] = value
+        self._data[key] = value  # meghlint: ignore[MEGH011] -- internal accumulate: caller invalidated the dependent rows before batching
+        self._dense[key] = value  # meghlint: ignore[MEGH011] -- internal accumulate: caller invalidated the dependent rows before batching
 
     def __getitem__(self, key: int) -> float:
         return self._data[key]
@@ -319,7 +319,7 @@ class SparseLstd:
         for i in np.nonzero(self._theta_fresh)[0].tolist():
             expected = self._B.row_dot_dense(i, dense_z)
             cached = float(self._theta_cache[i])
-            if cached != expected and not (  # meghlint: ignore[MEGH003] -- cache must be bit-identical, not merely close
+            if cached != expected and not (
                 math.isnan(cached) and math.isnan(expected)
             ):
                 inconsistent.append(i)

@@ -61,7 +61,7 @@ def verify_unique_projection(
     psi = projection_matrix(action_space, policy_actions)
     rank = int(np.linalg.matrix_rank(psi))
     unique = rank == len(policy_actions)
-    theta, *_ = np.linalg.lstsq(psi, np.asarray(values, dtype=float), rcond=None)
+    theta, *_ = np.linalg.lstsq(psi, np.asarray(values, dtype=np.float64), rcond=None)
     return unique, theta
 
 
@@ -96,7 +96,7 @@ def bellman_operator(
     """Apply ``(Mv)(s) = min_{s' in S_s} [C(s, s') + gamma v(s')]``."""
     if not 0 <= gamma < 1:
         raise ConfigurationError("gamma must be in [0, 1)")
-    updated = np.empty_like(values, dtype=float)
+    updated = np.empty_like(values, dtype=np.float64)
     for state, options in enumerate(successors):
         updated[state] = min(
             costs[state, nxt] + gamma * values[nxt] for nxt in options

@@ -1,0 +1,16 @@
+"""Repaired variants: every path invalidates before exit."""
+
+
+def apply_demand(arrays, vm_id, demand, noisy):
+    arrays.vm_demand[vm_id] = demand
+    if noisy:
+        arrays.mark_demand_dirty()
+    else:
+        arrays.mark_activity_dirty()
+
+
+def zero_on_branch(arrays, vm_id, idle):
+    if idle:
+        arrays.vm_delivered[vm_id] = 0.0
+        arrays.mark_delivered_dirty()
+    return arrays

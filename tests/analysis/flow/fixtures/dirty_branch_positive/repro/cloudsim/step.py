@@ -1,0 +1,13 @@
+"""Seeded-in defects: mutations whose invalidation misses a path."""
+
+
+def apply_demand(arrays, vm_id, demand, noisy):
+    arrays.vm_demand[vm_id] = demand
+    if noisy:
+        arrays.mark_demand_dirty()
+
+
+def zero_on_branch(arrays, vm_id, idle):
+    if idle:
+        arrays.vm_delivered[vm_id] = 0.0
+    return arrays

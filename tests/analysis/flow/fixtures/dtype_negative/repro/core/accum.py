@@ -1,0 +1,16 @@
+"""Repaired variants: canonical dtypes, aligned axes, numpy reductions."""
+
+import numpy as np
+
+
+def make_counts(num_vms):
+    return np.zeros(num_vms, dtype=np.int64)
+
+
+def demanded_mips(arrays):
+    return arrays.vm_demand * arrays.vm_mips
+
+
+def numpy_total(num_pms):
+    data = np.zeros(num_pms, dtype=np.float64)
+    return float(np.sum(data))

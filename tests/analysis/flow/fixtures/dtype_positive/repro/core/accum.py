@@ -1,0 +1,16 @@
+"""Seeded-in defects: dtype and axis slips in a hot module."""
+
+import numpy as np
+
+
+def make_counts(num_vms):
+    return np.zeros(num_vms, dtype=np.int32)
+
+
+def mixed_axes(arrays):
+    return arrays.vm_demand * arrays.pm_mips
+
+
+def python_total(num_pms):
+    data = np.zeros(num_pms, dtype=np.float64)
+    return sum(data)

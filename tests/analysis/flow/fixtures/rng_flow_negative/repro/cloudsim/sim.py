@@ -1,0 +1,5 @@
+"""Target-package sink: any RNG reaching ``step`` must be seeded."""
+
+
+def step(rng, n):
+    return int(rng.integers(0, n))

@@ -1,0 +1,18 @@
+"""Repaired variant: the generator is seeded at the harness boundary."""
+
+import numpy as np
+
+from repro.cloudsim.sim import step
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def forward(rng, n):
+    return step(rng, n)
+
+
+def main(n, seed):
+    rng = make_rng(seed)
+    return forward(rng, n)

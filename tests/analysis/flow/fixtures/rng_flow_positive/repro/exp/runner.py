@@ -1,0 +1,18 @@
+"""Seeded-in defect: an unseeded Generator crosses two call hops."""
+
+import numpy as np
+
+from repro.cloudsim.sim import step
+
+
+def make_rng():
+    return np.random.default_rng()
+
+
+def forward(rng, n):
+    return step(rng, n)
+
+
+def main(n):
+    rng = make_rng()
+    return forward(rng, n)

@@ -1,0 +1,94 @@
+"""Fixture-driven tests for the meghflow rules (MEGH010–MEGH012).
+
+Each fixture under ``fixtures/<case>/`` is a miniature project — a
+``repro`` package tree that is *parsed, never imported* — holding a
+seeded-in defect (positive case) or its repaired twin (negative case).
+The tests lint each case directory whole, so every finding here proves
+a genuinely interprocedural property: the RNG defect crosses two call
+hops and two modules, the dirty-flag defect hides on one branch of a
+conditional, and the dtype defects live in declared hot packages.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import LintConfig, lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _findings(case: str, rule: str):
+    config = LintConfig(select=[rule])
+    result = lint_paths([FIXTURES / case], config)
+    assert not any(d.rule_id == "MEGH000" for d in result.diagnostics), (
+        "fixture must parse"
+    )
+    return [d for d in result.diagnostics if d.rule_id == rule]
+
+
+class TestRngProvenance:
+    def test_unseeded_generator_crossing_two_hops_is_reported(self):
+        findings = _findings("rng_flow_positive", "MEGH010")
+        assert len(findings) == 1
+        finding = findings[0]
+        # Anchored at the creation site, where the fix belongs.
+        assert finding.path.endswith("runner.py")
+        assert "without a seed" in finding.message
+        # The witness names the simulation-package sink.
+        assert "repro.cloudsim" in finding.message
+
+    def test_seeded_generator_is_silent(self):
+        assert _findings("rng_flow_negative", "MEGH010") == []
+
+
+class TestDirtyFlags:
+    def test_mark_missing_on_one_path_is_reported(self):
+        findings = _findings("dirty_branch_positive", "MEGH011")
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("vm_demand" in message for message in messages)
+        assert any("vm_delivered" in message for message in messages)
+        for finding in findings:
+            assert "every path" in finding.message
+
+    def test_marks_on_every_path_are_silent(self):
+        assert _findings("dirty_branch_negative", "MEGH011") == []
+
+
+class TestDtypeDiscipline:
+    def test_bad_dtype_axis_mix_and_python_sum_are_reported(self):
+        findings = _findings("dtype_positive", "MEGH012")
+        messages = [f.message for f in findings]
+        assert any("int32" in message for message in messages)
+        assert any(
+            "per-VM (N) and a per-PM (M)" in message for message in messages
+        )
+        assert any("built-in sum()" in message for message in messages)
+        assert len(findings) == 3
+
+    def test_repaired_module_is_silent(self):
+        assert _findings("dtype_negative", "MEGH012") == []
+
+
+class TestFlowToggles:
+    def test_no_flow_config_skips_flow_rules(self):
+        config = LintConfig(select=["MEGH010"], flow=False)
+        result = lint_paths([FIXTURES / "rng_flow_positive"], config)
+        assert result.diagnostics == []
+
+    def test_flow_findings_honour_line_suppressions(self, tmp_path):
+        package = tmp_path / "repro" / "cloudsim"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "mod.py").write_text(
+            "def touch(arrays, i):\n"
+            "    arrays.vm_demand[i] = 1.0"
+            "  # meghlint: ignore[MEGH011] -- test fixture\n"
+        )
+        config = LintConfig(select=["MEGH011"])
+        result = lint_paths([tmp_path], config)
+        assert result.diagnostics == []
+        assert result.suppressed == 1
+        assert result.unused_suppressions == []

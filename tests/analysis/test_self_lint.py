@@ -1,26 +1,70 @@
 """The repository must pass its own lint — the acceptance gate.
 
-Every later PR that introduces an unseeded RNG, a wall-clock read, or a
-float equality into ``src/`` or ``benchmarks/`` fails here, at the step
-that introduced it.
+Every later PR that introduces an unseeded RNG, a wall-clock read, a
+float equality, a missed dirty-flag invalidation, or a dtype slip into
+``src/`` or ``benchmarks/`` fails here, at the step that introduced it.
+
+The committed baseline (``analysis/baseline.json``) must match reality
+*exactly*: every entry absorbs precisely its counted findings (a stale
+entry fails), every in-source suppression fires (an unused one fails),
+and nothing else survives.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import lint_paths
+from repro.analysis import apply_baseline, lint_paths, load_baseline
 from repro.analysis.reporting import render_text
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis" / "baseline.json"
 
 
 def test_source_tree_is_lint_clean():
     result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
     assert result.files_checked > 50
+    baseline = load_baseline(BASELINE)
+    apply_baseline(result, baseline, root=REPO_ROOT)
     assert result.clean, "\n" + render_text(result)
+
+
+def test_committed_baseline_is_exact():
+    """The baseline neither over- nor under-counts current findings."""
+    result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    baseline = load_baseline(BASELINE)
+    apply_baseline(result, baseline, root=REPO_ROOT)
+    expected = sum(entry.count for entry in baseline.entries)
+    assert result.baselined == expected, (
+        f"baseline declares {expected} finding(s) but {result.baselined} "
+        "matched — run: repro lint src benchmarks "
+        "--baseline analysis/baseline.json --update-baseline"
+    )
+    assert not result.stale_baseline, "\n".join(result.stale_baseline)
+
+
+def test_committed_baseline_reasons_are_written():
+    baseline = load_baseline(BASELINE)
+    for entry in baseline.entries:
+        assert "TODO" not in entry.reason, (
+            f"{entry.path} ({entry.rule}): replace the placeholder reason "
+            "with a real justification before committing"
+        )
+        assert len(entry.reason.strip()) >= 20, (
+            f"{entry.path} ({entry.rule}): reason too short to justify "
+            "an accepted finding"
+        )
+
+
+def test_no_unused_suppressions_in_tree():
+    """Every ``# meghlint: ignore`` in the tree actually fires."""
+    result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    assert not result.unused_suppressions, "\n" + "\n".join(
+        diagnostic.format() for diagnostic in result.unused_suppressions
+    )
 
 
 def test_examples_are_lint_clean():
     result = lint_paths([REPO_ROOT / "examples"])
     assert result.clean, "\n" + render_text(result)
+    assert not result.unused_suppressions
