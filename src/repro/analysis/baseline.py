@@ -190,9 +190,21 @@ def apply_baseline(
         else:
             remaining.append(diagnostic)
     result.diagnostics[:] = remaining
+    base = root if root is not None else Path.cwd()
     for entry in baseline.entries:
         unmatched = budgets.get(entry.key(), 0)
-        if unmatched > 0:
+        if unmatched <= 0:
+            continue
+        if not (base / entry.path).exists():
+            # A deleted or renamed file can never match again; without
+            # this note the entry silently retains a findings budget
+            # that new code at the old signature would spend.
+            result.stale_baseline.append(
+                f"{entry.path}: {entry.rule} baseline entry points at a "
+                "file that no longer exists — purge it "
+                "(repro lint --update-baseline)"
+            )
+        else:
             result.stale_baseline.append(
                 f"{entry.path}: {entry.rule} baseline entry expects "
                 f"{entry.count} finding(s), {entry.count - unmatched} "

@@ -20,12 +20,14 @@ from repro.analysis.baseline import (
     load_baseline,
     update_baseline,
 )
+from repro.analysis.cache import LintCache
 from repro.analysis.engine import (
     UNUSED_SUPPRESSION_RULE,
     LintConfig,
     lint_paths,
 )
 from repro.analysis.flow import FLOW_RULES
+from repro.analysis.par import PAR_RULES
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.rules import RULE_REGISTRY, all_rule_ids
 
@@ -66,6 +68,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-flow",
         action="store_true",
         help="skip the whole-program flow pass (MEGH010-MEGH012)",
+    )
+    parser.add_argument(
+        "--no-par",
+        action="store_true",
+        help=(
+            "skip the meghpar determinism/process-safety pass "
+            "(MEGH014-MEGH018)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the content-hash result cache; warm runs "
+            "skip re-analysis of unchanged files"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -113,6 +132,9 @@ def _print_rules() -> None:
     for rule_id in sorted(FLOW_RULES):
         severity, summary = FLOW_RULES[rule_id]
         print(f"{rule_id} [{severity}] {summary} (flow)")
+    for rule_id in sorted(PAR_RULES):
+        severity, summary = PAR_RULES[rule_id]
+        print(f"{rule_id} [{severity}] {summary} (par)")
     print(
         f"{UNUSED_SUPPRESSION_RULE} [warning] suppression directive that "
         "never fires (engine; failing under --strict-suppressions)"
@@ -133,6 +155,7 @@ def run(argv: Optional[List[str]] = None) -> int:
             select=_split_rule_ids(args.select),
             ignore=_split_rule_ids(args.ignore),
             flow=not args.no_flow,
+            par=not args.no_par,
         )
         config.validate()  # fail on unknown ids before touching the fs
         previous: Optional[Baseline] = None
@@ -144,10 +167,22 @@ def run(argv: Optional[List[str]] = None) -> int:
         print(f"repro lint: error: {error}")
         return 2
     try:
-        result = lint_paths(args.paths, config)
+        cache = (
+            LintCache(args.cache_dir) if args.cache_dir is not None else None
+        )
+        result = lint_paths(args.paths, config, cache=cache)
         if args.update_baseline:
             fresh = update_baseline(result, previous)
             fresh.save(args.baseline)
+            if previous is not None:
+                surviving = {entry.key() for entry in fresh.entries}
+                for entry in previous.entries:
+                    if entry.key() not in surviving:
+                        print(
+                            f"repro lint: purged baseline entry "
+                            f"{entry.rule} for {entry.path} (no matching "
+                            "finding remains)"
+                        )
             print(
                 f"repro lint: baseline {args.baseline} updated with "
                 f"{len(fresh.entries)} entr"

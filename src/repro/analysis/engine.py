@@ -32,8 +32,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.analysis.cache import FileRecord, LintCache
 from repro.analysis.diagnostics import Diagnostic, Severity, sort_key
-from repro.analysis.flow import FLOW_RULES, run_flow
+from repro.analysis.flow import (
+    FLOW_RULES,
+    build_call_graph,
+    build_project,
+    run_flow,
+)
+from repro.analysis.par import PAR_RULES, run_par
 from repro.analysis.rules import Rule, RuleContext, build_rules
 
 _SUPPRESSION_PATTERN = re.compile(
@@ -48,7 +55,9 @@ _SKIP_FILE_WINDOW = 5
 UNUSED_SUPPRESSION_RULE = "MEGH013"
 
 #: Rule ids handled by the engine rather than the per-file registry.
-_ENGINE_RULE_IDS = frozenset(FLOW_RULES) | {UNUSED_SUPPRESSION_RULE}
+_ENGINE_RULE_IDS = (
+    frozenset(FLOW_RULES) | frozenset(PAR_RULES) | {UNUSED_SUPPRESSION_RULE}
+)
 
 
 @dataclass
@@ -83,6 +92,10 @@ class LintConfig:
     #: :func:`lint_paths`.  Per-file entry points never run it: flow
     #: facts only make sense over a whole project.
     flow: bool = True
+    #: Run the meghpar determinism/process-safety pass (MEGH014–MEGH018)
+    #: in :func:`lint_paths`.  Shares the flow pass's project model and
+    #: call graph — both passes see the same instances.
+    par: bool = True
     #: Directory names never descended into.
     excluded_dirs: Sequence[str] = (
         ".git",
@@ -154,6 +167,9 @@ class LintResult:
     #: out of ``diagnostics`` so they inform without failing the run;
     #: ``--strict-suppressions`` promotes them.
     unused_suppressions: List[Diagnostic] = field(default_factory=list)
+    #: Result-cache accounting (``None`` when no ``--cache-dir`` given).
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     @property
     def errors(self) -> int:
@@ -374,44 +390,197 @@ def _collect_unused_suppressions(
             )
 
 
+def _suppression_marks(
+    module: ParsedModule, before: Dict[int, int]
+) -> Dict[str, int]:
+    """``line -> times fired`` since the ``before`` snapshot."""
+    marks: Dict[str, int] = {}
+    for line, suppression in module.suppressions.items():
+        delta = suppression.used - before.get(line, 0)
+        if delta > 0:
+            marks[str(line)] = delta
+    return marks
+
+
+def _replay_marks(module: ParsedModule, marks: Dict[str, int]) -> None:
+    """Re-apply cached suppression usage so MEGH013 stays exact."""
+    for line, count in marks.items():
+        suppression = module.suppressions.get(int(line))
+        if suppression is not None:
+            suppression.used += count
+
+
 def lint_paths(
     paths: Iterable[Union[str, Path]],
     config: Optional[LintConfig] = None,
+    cache: Optional[LintCache] = None,
 ) -> LintResult:
     """Lint every ``.py`` file under the given files/directories.
 
     This is the whole-program entry point: after the per-file rules it
-    runs the flow pass (unless ``config.flow`` is off) over the same
-    ASTs, applies line suppressions to flow findings too, and finally
-    reports directives that never fired.
+    runs the flow pass (unless ``config.flow`` is off) and the meghpar
+    pass (unless ``config.par`` is off) over the same ASTs — sharing
+    one project model and call graph between them — applies line
+    suppressions to their findings too, and finally reports directives
+    that never fired.
     """
     config = config or LintConfig()
     config.validate()
     result = LintResult()
+    fingerprint = (
+        cache.config_fingerprint(
+            config.select, config.ignore, config.flow, config.par
+        )
+        if cache is not None
+        else ""
+    )
     modules: List[ParsedModule] = []
+    shas: List[Tuple[str, str]] = []
     for file_path in iter_python_files(paths, config):
         source = file_path.read_text(encoding="utf-8")
+        # Always parse: the whole-program pass needs every AST, and the
+        # parse-once discipline is load-bearing.  A cache hit skips the
+        # per-file *rule execution*, nothing else.
         module = parse_module(source, path=str(file_path))
         modules.append(module)
-        _apply_file_rules(module, config, result)
-    if config.flow:
-        flow_input = [
-            (module.path, module.tree)
-            for module in modules
-            if module.tree is not None and not module.skipped
-        ]
-        select, ignore = config.flow_rule_sets()
+        if cache is None:
+            _apply_file_rules(module, config, result)
+            continue
+        sha = LintCache.source_sha(source)
+        shas.append((module.path, sha))
+        record = cache.lookup(module.path, sha, fingerprint)
+        if record is not None:
+            result.files_checked += 1
+            result.diagnostics.extend(record.replay_diagnostics())
+            result.suppressed += record.suppressed
+            _replay_marks(module, record.marks.get(module.path, {}))
+        else:
+            diagnostics_before = len(result.diagnostics)
+            suppressed_before = result.suppressed
+            used_before = {
+                line: suppression.used
+                for line, suppression in module.suppressions.items()
+            }
+            _apply_file_rules(module, config, result)
+            cache.store(
+                module.path,
+                fingerprint,
+                FileRecord(
+                    sha=sha,
+                    diagnostics=[
+                        diagnostic.to_dict()
+                        for diagnostic in result.diagnostics[
+                            diagnostics_before:
+                        ]
+                    ],
+                    suppressed=result.suppressed - suppressed_before,
+                    marks={
+                        module.path: _suppression_marks(module, used_before)
+                    },
+                ),
+            )
+    if config.flow or config.par:
         by_path = {module.path: module for module in modules}
-        for diagnostic in run_flow(flow_input, select, ignore):
-            module_for = by_path.get(str(diagnostic.path))
-            if module_for is not None and _consume_suppression(
-                module_for, diagnostic
-            ):
-                result.suppressed += 1
-            else:
-                result.diagnostics.append(diagnostic)
+        whole_record: Optional[FileRecord] = None
+        project_sha = ""
+        if cache is not None:
+            project_sha = LintCache.project_fingerprint(shas)
+            whole_record = cache.lookup_whole_program(
+                fingerprint, project_sha
+            )
+        if whole_record is not None:
+            result.diagnostics.extend(whole_record.replay_diagnostics())
+            result.suppressed += whole_record.suppressed
+            for path, marks in whole_record.marks.items():
+                module_for = by_path.get(path)
+                if module_for is not None:
+                    _replay_marks(module_for, marks)
+        else:
+            flow_input = [
+                (module.path, module.tree)
+                for module in modules
+                if module.tree is not None and not module.skipped
+            ]
+            select, ignore = config.flow_rule_sets()
+            enabled: Set[str] = set()
+            if config.flow:
+                enabled |= set(FLOW_RULES)
+            if config.par:
+                enabled |= set(PAR_RULES)
+            if select is not None:
+                enabled &= select
+            if ignore is not None:
+                enabled -= ignore
+            # Build the project model and call graph once; meghflow and
+            # meghpar both consume the same instances (parse-once
+            # extends to resolve-once).
+            project = build_project(flow_input) if enabled else None
+            graph = (
+                build_call_graph(project) if project is not None else None
+            )
+            whole_program: List[Diagnostic] = []
+            if config.flow:
+                whole_program.extend(
+                    run_flow(
+                        flow_input,
+                        select,
+                        ignore,
+                        project=project,
+                        graph=graph,
+                    )
+                )
+            if config.par:
+                whole_program.extend(
+                    run_par(
+                        flow_input,
+                        select,
+                        ignore,
+                        project=project,
+                        graph=graph,
+                    )
+                )
+            used_before_all = {
+                module.path: {
+                    line: suppression.used
+                    for line, suppression in module.suppressions.items()
+                }
+                for module in modules
+            }
+            kept: List[Diagnostic] = []
+            suppressed_delta = 0
+            for diagnostic in whole_program:
+                module_for = by_path.get(str(diagnostic.path))
+                if module_for is not None and _consume_suppression(
+                    module_for, diagnostic
+                ):
+                    result.suppressed += 1
+                    suppressed_delta += 1
+                else:
+                    result.diagnostics.append(diagnostic)
+                    kept.append(diagnostic)
+            if cache is not None:
+                all_marks: Dict[str, Dict[str, int]] = {}
+                for module in modules:
+                    delta = _suppression_marks(
+                        module, used_before_all[module.path]
+                    )
+                    if delta:
+                        all_marks[module.path] = delta
+                cache.store_whole_program(
+                    fingerprint,
+                    FileRecord(
+                        sha=project_sha,
+                        diagnostics=[d.to_dict() for d in kept],
+                        suppressed=suppressed_delta,
+                        marks=all_marks,
+                    ),
+                )
     if config.unused_suppression_check_enabled():
         _collect_unused_suppressions(modules, result)
+    if cache is not None:
+        cache.save()
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
     result.diagnostics.sort(key=sort_key)
     result.unused_suppressions.sort(key=sort_key)
     return result

@@ -105,6 +105,8 @@ def run_flow(
     parsed: Sequence[Tuple[Union[str, Path], ast.Module]],
     select: Optional[Set[str]] = None,
     ignore: Optional[Set[str]] = None,
+    project: Optional[Project] = None,
+    graph: Optional[CallGraph] = None,
 ) -> List[Diagnostic]:
     """Run the enabled flow rules over already-parsed modules.
 
@@ -112,7 +114,9 @@ def run_flow(
     per-file rules — the flow pass never re-parses.  ``select`` /
     ``ignore`` carry the same semantics as the per-file engine: when
     ``select`` is given only those rule ids run; ``ignore`` always
-    subtracts.
+    subtracts.  ``project``/``graph`` let the engine share one project
+    model and call graph across this pass and meghpar (build-once);
+    when omitted they are built here from ``parsed``.
     """
     enabled = set(FLOW_RULES)
     if select is not None:
@@ -121,10 +125,12 @@ def run_flow(
         enabled -= ignore
     if not enabled:
         return []
-    project = build_project(parsed)
+    if project is None:
+        project = build_project(parsed)
     diagnostics: List[Diagnostic] = []
     if "MEGH010" in enabled:
-        graph = build_call_graph(project)
+        if graph is None:
+            graph = build_call_graph(project)
         diagnostics.extend(check_rng_provenance(project, graph))
     if "MEGH011" in enabled:
         diagnostics.extend(check_dirty_flags(project))

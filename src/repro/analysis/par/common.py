@@ -1,0 +1,241 @@
+"""Shared expression classifiers for the meghpar rules.
+
+Three questions recur across MEGH015/017/018:
+
+* does this expression produce an *unordered* iterable (a set, an
+  ``os.listdir`` result, a ``Path.iterdir`` generator)?
+* does this loop body *accumulate* (append/extend/``+=``/dict store/
+  yield), i.e. does iteration order leak into a result?
+* is this value consumed by an *order-neutral* reduction (``sorted``,
+  ``set``, ``min``/``max``, ``len``) that launders the hazard away?
+
+The classifiers are deliberately conservative, mirroring the project
+model's contract: a value whose provenance cannot be traced stays
+unclassified and the rules stay silent about it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import FunctionInfo, Project, dotted_name
+
+__all__ = [
+    "ORDER_NEUTRAL_CONSUMERS",
+    "UNORDERED_CALLS",
+    "UNORDERED_METHOD_ATTRS",
+    "ACCUMULATOR_METHODS",
+    "UnorderedSources",
+    "parent_map",
+    "loop_body_accumulates",
+    "resolved_or_raw",
+    "walk_shallow",
+    "make_diagnostic",
+]
+
+
+def walk_shallow(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk one scope: never descend into nested function/class bodies.
+
+    The project model registers module bodies as ``<module>``
+    pseudo-functions whose node is the whole ``ast.Module`` — a plain
+    ``ast.walk`` over one of those revisits every function body and
+    duplicates findings.  Nested def/class nodes are still *yielded*
+    (rules may care about the binding) but their bodies belong to their
+    own scope.
+    """
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                yield child
+                continue
+            stack.append(child)
+
+#: Builtins/calls whose result does not depend on argument order.
+ORDER_NEUTRAL_CONSUMERS: Tuple[str, ...] = (
+    "sorted",
+    "set",
+    "frozenset",
+    "min",
+    "max",
+    "len",
+    "any",
+    "all",
+)
+
+#: Calls producing unordered (or OS-order) iterables, by resolved name.
+UNORDERED_CALLS: Dict[str, str] = {
+    "set": "set(...)",
+    "frozenset": "frozenset(...)",
+    "os.listdir": "os.listdir(...) (filesystem order)",
+    "os.scandir": "os.scandir(...) (filesystem order)",
+    "glob.glob": "glob.glob(...) (filesystem order)",
+    "glob.iglob": "glob.iglob(...) (filesystem order)",
+}
+
+#: Method names whose call yields filesystem-ordered entries regardless
+#: of the (usually untyped) receiver: ``Path.iterdir`` and friends.
+UNORDERED_METHOD_ATTRS: Dict[str, str] = {
+    "iterdir": ".iterdir() (filesystem order)",
+    "rglob": ".rglob(...) (filesystem order)",
+}
+
+#: Mutating container methods that make a loop body an accumulation.
+ACCUMULATOR_METHODS: Tuple[str, ...] = (
+    "append",
+    "appendleft",
+    "add",
+    "extend",
+    "extendleft",
+    "insert",
+    "update",
+    "setdefault",
+)
+
+
+def resolved_or_raw(
+    project: Project, function: FunctionInfo, node: ast.expr
+) -> Optional[str]:
+    """Resolve a dotted callee through imports, else the raw spelling."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    resolved = project.resolve(function.module, dotted)
+    return resolved if resolved is not None else dotted
+
+
+class UnorderedSources:
+    """Per-function tracker of names bound to unordered iterables."""
+
+    def __init__(self, project: Project, function: FunctionInfo) -> None:
+        self.project = project
+        self.function = function
+        #: Local name -> description of the unordered source it holds.
+        self.names: Dict[str, str] = {}
+        for node in walk_shallow(function.node):
+            if isinstance(node, ast.Assign):
+                description = self.classify(node.value, _names_ok=False)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if description is not None:
+                            self.names[target.id] = description
+                        else:
+                            # A later ordered rebinding (x = sorted(x))
+                            # clears the mark; without statement-order
+                            # tracking, clearing on any ordered rebind
+                            # is the conservative choice.
+                            self.names.pop(target.id, None)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if node.value is not None:
+                    description = self.classify(node.value, _names_ok=False)
+                    if description is not None:
+                        self.names[node.target.id] = description
+                    else:
+                        self.names.pop(node.target.id, None)
+
+    def classify(
+        self, expression: Optional[ast.expr], _names_ok: bool = True
+    ) -> Optional[str]:
+        """Description of the unordered source, or ``None`` if ordered."""
+        if expression is None:
+            return None
+        if isinstance(expression, ast.Set):
+            return "a set literal"
+        if isinstance(expression, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expression, ast.Name) and _names_ok:
+            return self.names.get(expression.id)
+        if isinstance(expression, ast.Call):
+            callee = resolved_or_raw(
+                self.project, self.function, expression.func
+            )
+            if callee is not None and callee in UNORDERED_CALLS:
+                return UNORDERED_CALLS[callee]
+            if isinstance(expression.func, ast.Attribute):
+                attr = expression.func.attr
+                if attr in UNORDERED_METHOD_ATTRS:
+                    return UNORDERED_METHOD_ATTRS[attr]
+                # ``p.glob(...)`` is Path.glob unless the receiver is the
+                # glob module itself (already handled by the dotted form).
+                if attr == "glob":
+                    return ".glob(...) (filesystem order)"
+        return None
+
+
+def parent_map(root: ast.AST) -> Dict[int, ast.AST]:
+    """``id(child) -> parent`` for every node under ``root``."""
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def is_order_neutral_consumer(
+    project: Project,
+    function: FunctionInfo,
+    parents: Dict[int, ast.AST],
+    node: ast.AST,
+) -> bool:
+    """True when ``node`` is a direct argument of ``sorted``/``set``/…"""
+    parent = parents.get(id(node))
+    if not isinstance(parent, ast.Call) or node not in parent.args:
+        return False
+    callee = resolved_or_raw(project, function, parent.func)
+    return callee in ORDER_NEUTRAL_CONSUMERS
+
+
+def loop_body_accumulates(body: List[ast.stmt]) -> Optional[ast.AST]:
+    """First accumulation site in a loop body, or ``None``.
+
+    Counter bumps by an integer literal (``count += 1``) are exempt:
+    integer addition is order-insensitive, and flagging counters would
+    bury the real findings in noise.
+    """
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.AugAssign):
+                if isinstance(node.value, ast.Constant) and isinstance(
+                    node.value.value, int
+                ):
+                    continue
+                return node
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in ACCUMULATOR_METHODS:
+                    return node
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        return node
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+    return None
+
+
+def make_diagnostic(
+    function: FunctionInfo,
+    node: ast.AST,
+    rule_id: str,
+    severity: Severity,
+    message: str,
+) -> Diagnostic:
+    return Diagnostic(
+        path=function.module.path,
+        line=getattr(node, "lineno", 1),
+        column=getattr(node, "col_offset", 0) + 1,
+        rule_id=rule_id,
+        severity=severity,
+        message=message,
+    )

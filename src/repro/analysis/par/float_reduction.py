@@ -1,0 +1,134 @@
+"""MEGH017 — float reductions whose result depends on summation order.
+
+IEEE-754 addition is not associative: ``sum`` over an unordered
+iterable can produce different last-bit results across runs, machines,
+and hash seeds.  The SoA simulator rebuild (PR 4) established the
+"never incremental float ``+=``" invariant precisely because the
+reference/vectorized differential tests kept tripping on it; this rule
+makes the invariant static for the numeric core.
+
+Scoped to ``repro.core`` and ``repro.cloudsim`` (minus the reference
+implementation, which is the sanctioned scalar oracle — mirroring the
+MEGH009 exemption), two shapes are reported:
+
+* ``sum(...)``/``np.sum(...)``/``math.fsum(...)``-free reductions over
+  an *unordered* iterable (set literals/comprehensions, ``os.listdir``,
+  ``Path.iterdir``, names bound to them) — ``math.fsum`` itself is
+  exempt, its compensated result is order-independent;
+* ``+=`` accumulation inside a ``for`` loop over an unordered source
+  (integer-literal counter bumps stay exempt; loops over lists,
+  ranges, or arrays are deterministic in order and stay silent).
+
+The fixes, in preference order: batch the reduction over an array
+(``float(np.sum(array))``), use ``math.fsum``, or pin the order with
+``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import FunctionInfo, Project
+from repro.analysis.par.common import (
+    UnorderedSources,
+    make_diagnostic,
+    resolved_or_raw,
+    walk_shallow,
+)
+
+__all__ = ["check_float_reduction"]
+
+RULE_ID = "MEGH017"
+
+#: Module-name prefixes holding the numeric core.
+_SCOPE_PREFIXES: Tuple[str, ...] = ("repro.core", "repro.cloudsim")
+
+#: Reductions whose float result depends on argument order.
+_ORDER_SENSITIVE_REDUCTIONS: Tuple[str, ...] = (
+    "sum",
+    "np.sum",
+    "numpy.sum",
+)
+
+
+def _in_scope(function: FunctionInfo) -> bool:
+    if not function.module.name.startswith(_SCOPE_PREFIXES):
+        return False
+    # The scalar reference implementation is the oracle the vectorized
+    # path is diffed against; it is exempt by design (MEGH009 precedent).
+    return not str(function.module.path).endswith("repro/cloudsim/reference.py")
+
+
+def _check_function(
+    project: Project,
+    function: FunctionInfo,
+    diagnostics: List[Diagnostic],
+) -> None:
+    sources = UnorderedSources(project, function)
+    for node in walk_shallow(function.node):
+        if isinstance(node, ast.Call):
+            callee = resolved_or_raw(project, function, node.func)
+            if callee not in _ORDER_SENSITIVE_REDUCTIONS or not node.args:
+                continue
+            argument = node.args[0]
+            description = sources.classify(argument)
+            if description is None and isinstance(
+                argument, ast.GeneratorExp
+            ):
+                for generator in argument.generators:
+                    description = sources.classify(generator.iter)
+                    if description is not None:
+                        break
+            if description is None:
+                continue
+            diagnostics.append(
+                make_diagnostic(
+                    function,
+                    node,
+                    RULE_ID,
+                    Severity.ERROR,
+                    f"{callee}(...) over {description} — float addition "
+                    "is not associative, so the result depends on an "
+                    "arbitrary iteration order; reduce over an array "
+                    "(float(np.sum(...))), use math.fsum, or sort the "
+                    "iterable first",
+                )
+            )
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            description = sources.classify(node.iter)
+            if description is None:
+                continue
+            for statement in node.body:
+                for inner in ast.walk(statement):
+                    if not isinstance(inner, ast.AugAssign):
+                        continue
+                    if not isinstance(inner.op, ast.Add):
+                        continue
+                    if isinstance(inner.value, ast.Constant) and isinstance(
+                        inner.value.value, int
+                    ):
+                        continue
+                    diagnostics.append(
+                        make_diagnostic(
+                            function,
+                            inner,
+                            RULE_ID,
+                            Severity.ERROR,
+                            f"incremental += accumulation over "
+                            f"{description} — float addition order is "
+                            "unpinned, so results can differ across "
+                            "runs and machines; batch the reduction or "
+                            "iterate a sorted sequence",
+                        )
+                    )
+
+
+def check_float_reduction(project: Project) -> List[Diagnostic]:
+    """Run MEGH017 over the numeric core (``repro.core``/``cloudsim``)."""
+    diagnostics: List[Diagnostic] = []
+    for function in project.iter_functions():
+        if _in_scope(function):
+            _check_function(project, function, diagnostics)
+    return diagnostics

@@ -1,0 +1,220 @@
+"""MEGH016 — unpicklable or stateful values at the process boundary.
+
+Everything that crosses the pool pipe — a ``JobSpec``, its frozen
+params, a result payload — is pickled by the spawn machinery.  Two
+failure classes hide there:
+
+* **hard failures**: lambdas, functions/classes defined inside a
+  function body, and open file handles do not pickle at all, and the
+  error surfaces in the worker, far from the submission site;
+* **soft failures**: a live RNG or lock object *does* pickle (or
+  appears to), but shipping one smuggles submission-time state into a
+  job, breaking the engine's contract that a job rebuilds its entire
+  world from its seed — the cache key would no longer describe the
+  computation.
+
+The rule is sink-based and runs over the whole project: any call whose
+resolved callee is a spec constructor (``JobSpec``, ``freeze_params``,
+``BuilderSpec.create``, ``SchedulerSpec.create``) or a ``.send(...)``
+inside ``repro.engine`` is a boundary; every argument (recursing
+through dict/list/tuple literals) is classified against the hazard
+table.  Plain data — strings, numbers, tuples of them — passes
+untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import FunctionInfo, Project
+from repro.analysis.par.common import (
+    make_diagnostic,
+    resolved_or_raw,
+    walk_shallow,
+)
+
+__all__ = ["check_pickle_boundary"]
+
+RULE_ID = "MEGH016"
+
+#: Resolved callees that place their arguments on the process boundary.
+_SINK_CALLEES: Tuple[str, ...] = (
+    "repro.engine.jobs.JobSpec",
+    "repro.engine.jobs.freeze_params",
+    "repro.engine.registry.BuilderSpec.create",
+    "repro.engine.registry.SchedulerSpec.create",
+)
+
+#: Callee tails that build live RNG state.
+_RNG_FACTORIES: Set[str] = {
+    "default_rng",
+    "Random",
+    "RandomState",
+    "Generator",
+    "PCG64",
+    "Philox",
+}
+
+#: Callee tails that build synchronization primitives.
+_LOCK_FACTORIES: Set[str] = {
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Condition",
+    "Event",
+    "Barrier",
+}
+
+
+def _local_definitions(function: FunctionInfo) -> Set[str]:
+    """Names of functions/classes defined inside ``function``'s body.
+
+    Module bodies get an empty set: a module-level function pickles by
+    reference, so passing one across the boundary is fine.
+    """
+    names: Set[str] = set()
+    if isinstance(function.node, ast.Module):
+        return names
+    for node in ast.walk(function.node):
+        if node is function.node:
+            continue
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+    return names
+
+
+def _call_hazard(
+    project: Project, function: FunctionInfo, call: ast.Call
+) -> Optional[str]:
+    callee = resolved_or_raw(project, function, call.func)
+    if callee is None:
+        return None
+    if callee == "open":
+        return "an open file handle"
+    if project.canonical(callee) in project.classes:
+        # A project class that merely shares a tail name (``Event``,
+        # ``Generator``) is ordinary picklable data, not a primitive.
+        return None
+    tail = callee.rsplit(".", 1)[-1]
+    if tail in _RNG_FACTORIES:
+        return f"a live RNG object ({callee}(...))"
+    if tail in _LOCK_FACTORIES:
+        return f"a live synchronization primitive ({callee}(...))"
+    return None
+
+
+class _HazardClassifier:
+    """Classify expressions that must not cross the process boundary."""
+
+    def __init__(self, project: Project, function: FunctionInfo) -> None:
+        self.project = project
+        self.function = function
+        self.local_defs = _local_definitions(function)
+        #: Local name -> hazard description it was bound to.
+        self.bound: Dict[str, str] = {}
+        for node in walk_shallow(function.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            description = self.classify(node.value, _names_ok=False)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if description is not None:
+                        self.bound[target.id] = description
+                    else:
+                        self.bound.pop(target.id, None)
+
+    def classify(
+        self, expression: ast.expr, _names_ok: bool = True
+    ) -> Optional[str]:
+        if isinstance(expression, ast.Lambda):
+            return "a lambda"
+        if isinstance(expression, ast.Name):
+            if expression.id in self.local_defs:
+                return (
+                    f"locally defined {expression.id!r} "
+                    "(defined inside a function body)"
+                )
+            if _names_ok:
+                return self.bound.get(expression.id)
+            return None
+        if isinstance(expression, ast.Call):
+            return _call_hazard(self.project, self.function, expression)
+        if isinstance(expression, (ast.List, ast.Tuple, ast.Set)):
+            for element in expression.elts:
+                description = self.classify(element, _names_ok)
+                if description is not None:
+                    return description
+            return None
+        if isinstance(expression, ast.Dict):
+            for value in list(expression.keys) + list(expression.values):
+                if value is None:
+                    continue
+                description = self.classify(value, _names_ok)
+                if description is not None:
+                    return description
+            return None
+        return None
+
+
+def _sink_label(
+    project: Project, function: FunctionInfo, call: ast.Call
+) -> Optional[str]:
+    callee = resolved_or_raw(project, function, call.func)
+    if callee is not None:
+        canonical = project.canonical(callee)
+        if canonical in _SINK_CALLEES:
+            return canonical
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "send"
+        and function.module.name.startswith("repro.engine")
+    ):
+        return "Connection.send"
+    return None
+
+
+def _check_function(
+    project: Project,
+    function: FunctionInfo,
+    diagnostics: List[Diagnostic],
+) -> None:
+    classifier = _HazardClassifier(project, function)
+    for node in walk_shallow(function.node):
+        if not isinstance(node, ast.Call):
+            continue
+        sink = _sink_label(project, function, node)
+        if sink is None:
+            continue
+        arguments = list(node.args) + [
+            keyword.value for keyword in node.keywords
+        ]
+        for argument in arguments:
+            description = classifier.classify(argument)
+            if description is None:
+                continue
+            diagnostics.append(
+                make_diagnostic(
+                    function,
+                    argument,
+                    RULE_ID,
+                    Severity.ERROR,
+                    f"{description} flows into {sink}(...) — values "
+                    "crossing the pool pipe are pickled by spawn, and "
+                    "the job contract requires rebuilding all state "
+                    "from the seed; pass plain data (names, seeds, "
+                    "paths) instead",
+                )
+            )
+
+
+def check_pickle_boundary(project: Project) -> List[Diagnostic]:
+    """Run MEGH016 over every project function (sink-based)."""
+    diagnostics: List[Diagnostic] = []
+    for function in project.iter_functions():
+        _check_function(project, function, diagnostics)
+    return diagnostics

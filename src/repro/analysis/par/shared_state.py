@@ -1,0 +1,185 @@
+"""MEGH014 — shared-state mutation in worker-reachable code.
+
+A module-level global or a class attribute written by worker-executed
+code is a cross-process divergence hazard twice over: each spawn worker
+mutates its *own* copy (so the write silently fails to share), and any
+code that later reads the "shared" value gets a per-process answer that
+depends on which jobs that worker happened to run.  The engine's
+contract — a job rebuilds its whole world from its seed — forbids the
+pattern outright.
+
+Three write shapes are reported, all scoped to the worker-reachable
+set computed by :mod:`repro.analysis.par.workers`:
+
+* ``global name`` declared and assigned inside a reachable function;
+* an attribute store on a resolved project *module* or *class*
+  (``registry.CACHE = ...``, ``SomeClass.counter = ...``, including
+  ``cls.attr = ...`` inside methods) — instance attribute writes
+  (``self.attr``) stay exempt, per-process object state is fine;
+* a mutation of a module-level binding: subscript stores
+  (``_CACHE[key] = value``) and mutating container-method calls
+  (``_SEEN.add(...)``) on names bound at module top level and not
+  shadowed locally.
+
+Import-time initialization (module bodies) is exempt by construction:
+spawn workers re-import every module, so module-body writes happen
+identically in every process before any job runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import FunctionInfo, Project, dotted_name
+from repro.analysis.par.common import ACCUMULATOR_METHODS, make_diagnostic
+from repro.analysis.par.workers import (
+    WorkerContext,
+    function_local_names,
+    module_level_bindings,
+)
+
+__all__ = ["check_shared_state"]
+
+RULE_ID = "MEGH014"
+
+#: Container methods that mutate their receiver in place.
+_MUTATORS: Set[str] = set(ACCUMULATOR_METHODS) | {
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+}
+
+
+def _owner_symbol(
+    project: Project, function: FunctionInfo, target: ast.Attribute
+) -> Optional[str]:
+    """Project module/class a stored-into attribute owner resolves to."""
+    owner = dotted_name(target.value)
+    if owner is None or owner in ("self",):
+        return None
+    if owner == "cls" and function.class_name is not None:
+        info = project.class_of_method(function)
+        return info.qualname if info is not None else None
+    resolved = project.resolve(function.module, owner)
+    if resolved is None:
+        return None
+    canonical = project.canonical(resolved)
+    if canonical in project.modules or canonical in project.classes:
+        return canonical
+    return None
+
+
+def _check_function(
+    project: Project,
+    context: WorkerContext,
+    function: FunctionInfo,
+    diagnostics: List[Diagnostic],
+) -> None:
+    locals_ = function_local_names(function)
+    module_names = module_level_bindings(function)
+    global_names: Set[str] = set()
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+    witness = context.witness(function.qualname)
+    reported_globals: Set[str] = set()
+
+    def _module_binding(name_node: ast.expr) -> Optional[str]:
+        if not isinstance(name_node, ast.Name):
+            return None
+        name = name_node.id
+        if name in locals_ or name not in module_names:
+            return None
+        return name
+
+    for node in ast.walk(function.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in global_names
+                    and target.id not in reported_globals
+                ):
+                    reported_globals.add(target.id)
+                    diagnostics.append(
+                        make_diagnostic(
+                            function,
+                            node,
+                            RULE_ID,
+                            Severity.ERROR,
+                            f"assignment to global {target.id!r} in "
+                            f"worker-executed code ({witness}) — each spawn "
+                            "worker mutates its own copy, so runs diverge by "
+                            "job placement; pass the value through the job "
+                            "spec or return it in the result instead",
+                        )
+                    )
+                elif isinstance(target, ast.Attribute):
+                    owner = _owner_symbol(project, function, target)
+                    if owner is not None:
+                        diagnostics.append(
+                            make_diagnostic(
+                                function,
+                                node,
+                                RULE_ID,
+                                Severity.ERROR,
+                                f"write to {owner}.{target.attr} in "
+                                f"worker-executed code ({witness}) — "
+                                "module/class attributes are per-process "
+                                "under spawn, so the write is invisible to "
+                                "the parent and to sibling workers; keep "
+                                "state on the job's own objects",
+                            )
+                        )
+                elif isinstance(target, ast.Subscript):
+                    name = _module_binding(target.value)
+                    if name is not None:
+                        diagnostics.append(
+                            make_diagnostic(
+                                function,
+                                node,
+                                RULE_ID,
+                                Severity.ERROR,
+                                f"store into module-level {name!r} in "
+                                f"worker-executed code ({witness}) — "
+                                "per-process caches diverge by job "
+                                "placement; use the engine's ResultCache "
+                                "or rebuild from the seed",
+                            )
+                        )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr not in _MUTATORS:
+                continue
+            name = _module_binding(node.func.value)
+            if name is not None:
+                diagnostics.append(
+                    make_diagnostic(
+                        function,
+                        node,
+                        RULE_ID,
+                        Severity.ERROR,
+                        f"mutating call {name}.{node.func.attr}(...) on a "
+                        f"module-level binding in worker-executed code "
+                        f"({witness}) — shared-looking state is per-process "
+                        "under spawn; keep mutation on job-local objects",
+                    )
+                )
+
+
+def check_shared_state(
+    project: Project, context: WorkerContext
+) -> List[Diagnostic]:
+    """Run MEGH014 over every worker-reachable function."""
+    diagnostics: List[Diagnostic] = []
+    for function in context.iter_reachable_functions():
+        _check_function(project, context, function, diagnostics)
+    return diagnostics

@@ -1,0 +1,160 @@
+"""MEGH015 — unordered iteration flowing into ordered results.
+
+Iterating a set, ``os.listdir``, ``glob``, or ``Path.iterdir`` is fine
+when the consumer is order-neutral (``sorted``, ``set``, ``min``,
+``len``).  It stops being fine the moment iteration order leaks into an
+accumulation, a merge, or serialized output: set order varies with hash
+randomization and insertion history, and filesystem order varies by
+machine — either one silently breaks jobs=1 vs jobs=N bit-identity.
+
+Reported shapes, scoped to worker-reachable functions plus everything
+under ``repro.engine`` (the parent-side merge path must be just as
+deterministic as the workers feeding it):
+
+* ``for x in <unordered>`` whose body accumulates (append/extend/
+  ``+=``/dict store/yield);
+* a list/dict/generator comprehension over an unordered iterable,
+  unless it is consumed directly by an order-neutral reduction;
+* an unordered iterable passed directly to an order-preserving
+  constructor or serializer (``list``, ``tuple``, ``"".join``,
+  ``json.dump``/``dumps``).
+
+The fix is always the same and always cheap: wrap the source in
+``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.flow.project import FunctionInfo, Project
+from repro.analysis.par.common import (
+    UnorderedSources,
+    is_order_neutral_consumer,
+    loop_body_accumulates,
+    make_diagnostic,
+    parent_map,
+    resolved_or_raw,
+    walk_shallow,
+)
+from repro.analysis.par.workers import WorkerContext
+
+__all__ = ["check_unordered"]
+
+RULE_ID = "MEGH015"
+
+#: Callees that freeze their argument's iteration order into a result.
+_ORDER_SENSITIVE_CALLS: Tuple[str, ...] = (
+    "list",
+    "tuple",
+    "json.dump",
+    "json.dumps",
+)
+
+
+def _scope(project: Project, context: WorkerContext) -> List[FunctionInfo]:
+    """Worker-reachable functions plus all of ``repro.engine``."""
+    chosen: Dict[str, FunctionInfo] = {}
+    for function in context.iter_reachable_functions():
+        chosen[function.qualname] = function
+    for function in project.iter_functions():
+        if function.module.name.startswith("repro.engine"):
+            chosen[function.qualname] = function
+    return [chosen[qualname] for qualname in sorted(chosen)]
+
+
+def _check_function(
+    project: Project,
+    context: WorkerContext,
+    function: FunctionInfo,
+    diagnostics: List[Diagnostic],
+) -> None:
+    sources = UnorderedSources(project, function)
+    parents = parent_map(function.node)
+    where = (
+        f" ({context.witness(function.qualname)})"
+        if context.is_reachable(function.qualname)
+        else ""
+    )
+
+    def _report(node: ast.AST, description: str, consequence: str) -> None:
+        diagnostics.append(
+            make_diagnostic(
+                function,
+                node,
+                RULE_ID,
+                Severity.ERROR,
+                f"iteration over {description} {consequence}{where} — "
+                "wrap the source in sorted(...) to pin the order",
+            )
+        )
+
+    for node in walk_shallow(function.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            description = sources.classify(node.iter)
+            if description is None:
+                continue
+            accumulation = loop_body_accumulates(node.body)
+            if accumulation is not None:
+                _report(
+                    node,
+                    description,
+                    "accumulates into an ordered result",
+                )
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            description = _comprehension_source(sources, node)
+            if description is None:
+                continue
+            if is_order_neutral_consumer(project, function, parents, node):
+                continue
+            _report(
+                node,
+                description,
+                "builds an order-dependent comprehension",
+            )
+        elif isinstance(node, ast.Call):
+            callee = resolved_or_raw(project, function, node.func)
+            is_join = (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            )
+            if callee not in _ORDER_SENSITIVE_CALLS and not is_join:
+                continue
+            for argument in node.args:
+                description = sources.classify(argument)
+                if description is None:
+                    continue
+                label = (
+                    ".join(...)"
+                    if is_join
+                    else f"{callee}(...)"
+                )
+                _report(
+                    argument,
+                    description,
+                    f"feeds {label}, freezing an arbitrary order",
+                )
+
+
+def _comprehension_source(
+    sources: UnorderedSources,
+    node: ast.AST,
+) -> Optional[str]:
+    generators = getattr(node, "generators", [])
+    for generator in generators:
+        description = sources.classify(generator.iter)
+        if description is not None:
+            return description
+    return None
+
+
+def check_unordered(
+    project: Project, context: WorkerContext
+) -> List[Diagnostic]:
+    """Run MEGH015 over worker-reachable and engine-side functions."""
+    diagnostics: List[Diagnostic] = []
+    for function in _scope(project, context):
+        _check_function(project, context, function, diagnostics)
+    return diagnostics

@@ -1,0 +1,231 @@
+"""Worker entry points and the worker-reachable call graph for meghpar.
+
+The execution engine's process boundary (``repro.engine.pool``) is the
+line across which nondeterminism stops being a local bug and becomes a
+cross-process divergence: two workers disagreeing about a global, an
+iteration order, or a wall-clock read produce results the deterministic
+submission-order merge cannot reconcile.  Everything the MEGH014–018
+rules certify is therefore scoped to the code a *worker* can execute.
+
+That set is computed here, structurally, from the project call graph:
+
+* **entry points** — the worker loop (``repro.engine.pool._worker_main``)
+  and the single shared execution path (``repro.engine.registry
+  .execute_spec``), plus the spec-carrying callables
+  (``BuilderSpec.__call__`` / ``SchedulerSpec.__call__``) that workers
+  invoke after unpickling;
+* **registered callables** — every project function handed to
+  ``register_builder`` / ``register_scheduler`` anywhere in the project.
+  Registry dispatch (``resolve_builder(name)(...)``) is a dynamic call
+  the static graph cannot follow, so registration *is* the edge: a
+  registered builder runs in whatever process executes the job.
+
+From those roots a deterministic breadth-first walk over the call graph
+yields, for every reachable function, the shortest witness chain back to
+a root — the rules embed the root in their messages so a finding reads
+as "this runs in workers because ...", not just "this line is bad".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.project import FunctionInfo, Project, dotted_name
+
+__all__ = [
+    "ENTRY_FUNCTIONS",
+    "REGISTRATION_FUNCTIONS",
+    "WorkerContext",
+    "build_worker_context",
+]
+
+#: Qualified names that are worker entry points wherever they exist.
+ENTRY_FUNCTIONS: Tuple[str, ...] = (
+    "repro.engine.pool._worker_main",
+    "repro.engine.registry.execute_spec",
+    "repro.engine.registry.BuilderSpec.__call__",
+    "repro.engine.registry.SchedulerSpec.__call__",
+)
+
+#: Calls whose function-valued argument becomes worker-executable.
+REGISTRATION_FUNCTIONS: Tuple[str, ...] = (
+    "repro.engine.registry.register_builder",
+    "repro.engine.registry.register_scheduler",
+)
+
+
+@dataclass
+class WorkerContext:
+    """Worker-reachable functions plus their witness chains."""
+
+    project: Project
+    graph: CallGraph
+    #: Root qualname -> why it is a root (entry point / registration).
+    roots: Dict[str, str] = field(default_factory=dict)
+    #: Reachable qualname -> root qualname it was first reached from.
+    reachable: Dict[str, str] = field(default_factory=dict)
+    #: Reachable qualname -> direct caller on the shortest witness chain
+    #: (roots map to themselves).
+    called_from: Dict[str, str] = field(default_factory=dict)
+
+    def is_reachable(self, qualname: str) -> bool:
+        return qualname in self.reachable
+
+    def root_of(self, qualname: str) -> Optional[str]:
+        return self.reachable.get(qualname)
+
+    def iter_reachable_functions(self) -> List[FunctionInfo]:
+        """Reachable project functions in deterministic qualname order."""
+        return [
+            self.project.functions[qualname]
+            for qualname in sorted(self.reachable)
+            if qualname in self.project.functions
+        ]
+
+    def witness(self, qualname: str) -> str:
+        """Human-readable provenance: ``reachable from <root>``."""
+        root = self.reachable.get(qualname)
+        if root is None:
+            return "not worker-reachable"
+        if root == qualname:
+            return f"worker entry point {self.roots.get(root, root)}"
+        return f"reachable from worker entry {root}"
+
+
+def _registration_roots(project: Project, graph: CallGraph) -> Dict[str, str]:
+    """Functions registered as builders/schedulers, with provenance."""
+    roots: Dict[str, str] = {}
+    for qualname in sorted(graph.sites):
+        caller = project.functions.get(qualname)
+        if caller is None:
+            continue
+        for site in graph.sites[qualname]:
+            if site.callee not in REGISTRATION_FUNCTIONS:
+                continue
+            # register_builder(name, fn) — the callable is the second
+            # positional argument (or the ``fn`` keyword).
+            candidates = list(site.node.args[1:2]) + [
+                keyword.value
+                for keyword in site.node.keywords
+                if keyword.arg == "fn"
+            ]
+            for argument in candidates:
+                dotted = dotted_name(argument)
+                if dotted is None:
+                    continue
+                resolved = project.resolve(caller.module, dotted)
+                if resolved is None:
+                    continue
+                canonical = project.canonical(resolved)
+                if canonical in project.functions:
+                    roots[canonical] = (
+                        f"registered via {site.callee} in {qualname}"
+                    )
+    return roots
+
+
+def build_worker_context(project: Project, graph: CallGraph) -> WorkerContext:
+    """Compute the worker-reachable set once per lint invocation."""
+    context = WorkerContext(project=project, graph=graph)
+    for qualname in ENTRY_FUNCTIONS:
+        if qualname in project.functions:
+            context.roots[qualname] = f"worker entry point {qualname}"
+    context.roots.update(_registration_roots(project, graph))
+    # Deterministic BFS: roots in sorted order, neighbours in sorted
+    # order, first (shortest) chain wins.
+    frontier: List[str] = []
+    for root in sorted(context.roots):
+        context.reachable[root] = root
+        context.called_from[root] = root
+        frontier.append(root)
+    while frontier:
+        next_frontier: List[str] = []
+        for qualname in frontier:
+            for callee in sorted(graph.edges.get(qualname, ())):
+                if callee in context.reachable:
+                    continue
+                if callee not in project.functions:
+                    continue
+                context.reachable[callee] = context.reachable[qualname]
+                context.called_from[callee] = qualname
+                next_frontier.append(callee)
+        frontier = next_frontier
+    return context
+
+
+def function_local_names(function: FunctionInfo) -> Set[str]:
+    """Every name bound inside ``function`` (params, targets, imports).
+
+    Used to tell a module-level binding from a local shadow; names
+    declared ``global`` are *excluded* — assigning them writes shared
+    module state, which is exactly what MEGH014 reports.
+    """
+    bound: Set[str] = set(function.parameters())
+    global_names: Set[str] = set()
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Global):
+            global_names.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, ast.comprehension):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".", 1)[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not function.node:
+                bound.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            bound.add(node.name)
+        elif isinstance(node, ast.NamedExpr) and isinstance(
+            node.target, ast.Name
+        ):
+            bound.add(node.target.id)
+    return bound - global_names
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def module_level_bindings(function: FunctionInfo) -> Set[str]:
+    """Names bound by the module body of ``function``'s module."""
+    bound: Set[str] = set()
+    for statement in function.module.tree.body:
+        if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                statement.targets
+                if isinstance(statement, ast.Assign)
+                else [statement.target]
+            )
+            for target in targets:
+                bound.update(_target_names(target))
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            bound.update(_target_names(statement.target))
+    return bound

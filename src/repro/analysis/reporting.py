@@ -32,6 +32,11 @@ def render_text(result: LintResult, strict: bool = False) -> str:
         summary += f", {result.suppressed} suppressed"
     if result.baselined:
         summary += f", {result.baselined} baselined"
+    if result.cache_hits is not None:
+        summary += (
+            f", cache: {result.cache_hits} hit(s), "
+            f"{result.cache_misses} miss(es)"
+        )
     hygiene = len(result.unused_suppressions) + len(result.stale_baseline)
     if hygiene:
         summary += (
@@ -57,6 +62,8 @@ def render_json(result: LintResult) -> str:
             "baselined": result.baselined,
             "unused_suppressions": len(result.unused_suppressions),
             "stale_baseline": len(result.stale_baseline),
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
             "clean": result.clean,
         },
         "diagnostics": [

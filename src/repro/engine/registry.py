@@ -21,10 +21,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from importlib import import_module
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.jobs import JobSpec, freeze_params, thaw_params
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.cloudsim.simulation import Simulation
 
 BUILDER_REGISTRY: Dict[str, Callable[..., Any]] = {}
 SCHEDULER_REGISTRY: Dict[str, Callable[..., Any]] = {}
@@ -154,7 +166,11 @@ def execute_spec(spec: JobSpec):
     engine's ``jobs=1`` / ``jobs=N`` equivalence rests on it.
     """
     builder = resolve_builder(spec.builder)
-    simulation = builder(seed=spec.seed, **spec.builder_kwargs())
+    # The annotation is load-bearing beyond type checking: registry
+    # dispatch is dynamic, so it is what lets meghpar's call graph
+    # follow execute_spec into Simulation.run and certify the whole
+    # worker-executed step pipeline (MEGH014–018).
+    simulation: Simulation = builder(seed=spec.seed, **spec.builder_kwargs())
     constructor = resolve_scheduler(spec.scheduler)
     scheduler = constructor(simulation, **spec.scheduler_kwargs())
     simulation.reset()

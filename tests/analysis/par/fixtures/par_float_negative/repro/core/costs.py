@@ -1,0 +1,16 @@
+"""Repaired twin: reductions run over pinned-order sequences."""
+
+import math
+
+
+def total_power(loads):
+    watts = {load * 0.5 for load in loads}
+    return math.fsum(sorted(watts))
+
+
+def accumulate_energy(samples):
+    ordered = sorted({s for s in samples})
+    total = 0.0
+    for sample in ordered:
+        total += sample * 0.25
+    return total

@@ -1,0 +1,16 @@
+"""Seeded defect: float reductions over unordered iterables."""
+
+
+def total_power(loads):
+    watts = {load * 0.5 for load in loads}
+    # Defect: float addition is not associative, and set order is
+    # arbitrary — the total differs in the last bits across runs.
+    return sum(watts)
+
+
+def accumulate_energy(samples):
+    total = 0.0
+    for sample in {s for s in samples}:
+        # Defect: incremental += over an unordered source.
+        total += sample * 0.25
+    return total

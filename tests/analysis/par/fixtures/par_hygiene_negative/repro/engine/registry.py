@@ -1,0 +1,14 @@
+"""Mini registry: the worker dispatch surface the par rules anchor on."""
+
+BUILDERS = {}
+
+
+def register_builder(name, fn):
+    """Registration is the edge the static call graph cannot see."""
+    BUILDERS[name] = fn
+
+
+def execute_spec(spec):
+    """Single execution path shared by serial runs and workers."""
+    builder = BUILDERS[spec.builder]
+    return builder(seed=spec.seed)

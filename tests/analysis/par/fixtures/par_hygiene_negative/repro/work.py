@@ -1,0 +1,18 @@
+"""Repaired twin: ambient reads happen in the parent, not the worker."""
+
+import os
+
+from repro.engine.registry import register_builder
+
+
+def build_probe(seed=0, region="us-east"):
+    return [seed, region]
+
+
+def parent_region():
+    # Legitimate: runs in the submitting process only (never
+    # registered, unreachable from any worker entry point).
+    return os.environ.get("REPRO_REGION", "us-east")
+
+
+register_builder("probe", build_probe)

@@ -1,0 +1,17 @@
+"""Seeded defect: a worker-executed builder reads ambient state."""
+
+import os
+import time
+
+from repro.engine.registry import register_builder
+
+
+def build_probe(seed=0):
+    # Defect: wall clock and environment differ per process and per
+    # run while the job's cache key claims seed-only inputs.
+    started = time.time()
+    region = os.environ.get("REPRO_REGION", "us-east")
+    return [seed, started, region]
+
+
+register_builder("probe", build_probe)

@@ -1,0 +1,11 @@
+"""Mini job-spec surface: the pickle boundary the par rules police."""
+
+
+class JobSpec:
+    def __init__(self, builder, params):
+        self.builder = builder
+        self.params = params
+
+
+def freeze_params(params):
+    return tuple(sorted(params.items()))

@@ -1,0 +1,12 @@
+"""Repaired twin: only plain data reaches the job spec."""
+
+from repro.engine.jobs import JobSpec, freeze_params
+
+
+def submit(seed):
+    return JobSpec("fleet", params={"post_offset": seed})
+
+
+def submit_log(seed, path):
+    # The path crosses the boundary; the worker opens its own handle.
+    return freeze_params({"seed": seed, "log_path": str(path)})

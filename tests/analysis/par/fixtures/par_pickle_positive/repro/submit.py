@@ -1,0 +1,14 @@
+"""Seeded defect: a lambda and an open handle cross the boundary."""
+
+from repro.engine.jobs import JobSpec, freeze_params
+
+
+def submit(seed):
+    # Defect: lambdas do not pickle; the failure surfaces in the
+    # worker, far from this call site.
+    return JobSpec("fleet", params={"post": lambda x: x + seed})
+
+
+def submit_log(seed, path):
+    # Defect: a live file handle smuggles process state into params.
+    return freeze_params({"seed": seed, "log": open(path)})

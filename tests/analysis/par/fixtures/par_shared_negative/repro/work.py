@@ -1,0 +1,17 @@
+"""Repaired twin: all builder state is job-local or returned."""
+
+from repro.engine.registry import register_builder
+
+
+def build_fleet(seed=0):
+    totals = {"last_seed": seed}
+    return [totals["last_seed"]]
+
+
+def build_counted(seed=0):
+    count = 1
+    return [seed, count]
+
+
+register_builder("fleet", build_fleet)
+register_builder("counted", build_counted)

@@ -1,0 +1,23 @@
+"""Seeded defect: worker-executed builders mutate module state."""
+
+from repro.engine.registry import register_builder
+
+TOTALS = {}
+_COUNTER = 0
+
+
+def build_fleet(seed=0):
+    # Defect: a per-process dict masquerading as shared state.
+    TOTALS["last_seed"] = seed
+    return [seed]
+
+
+def build_counted(seed=0):
+    # Defect: a global counter diverges by job placement.
+    global _COUNTER
+    _COUNTER = _COUNTER + 1
+    return [seed, _COUNTER]
+
+
+register_builder("fleet", build_fleet)
+register_builder("counted", build_counted)

@@ -1,0 +1,14 @@
+"""Repaired twin: the unordered source is sorted before accumulating."""
+
+from repro.engine.registry import register_builder
+
+
+def build_hosts(seed=0):
+    names = {"pm-b", "pm-a", "pm-c"}
+    hosts = []
+    for name in sorted(names):
+        hosts.append((seed, name))
+    return hosts
+
+
+register_builder("hosts", build_hosts)

@@ -1,0 +1,16 @@
+"""Seeded defect: set iteration order leaks into a worker's result."""
+
+from repro.engine.registry import register_builder
+
+
+def build_hosts(seed=0):
+    names = {"pm-b", "pm-a", "pm-c"}
+    hosts = []
+    # Defect: accumulation order follows set order, which varies with
+    # hash randomization — jobs=1 vs jobs=N results diverge.
+    for name in names:
+        hosts.append((seed, name))
+    return hosts
+
+
+register_builder("hosts", build_hosts)

@@ -112,9 +112,13 @@ class TestApply:
         assert len(result.diagnostics) == 1
         assert result.baselined == 2
 
-    def test_overcounting_entry_is_stale(self):
+    def test_overcounting_entry_is_stale(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
         result = LintResult(diagnostics=[_diagnostic()])
-        apply_baseline(result, Baseline(entries=(_entry(count=3),)))
+        apply_baseline(
+            result, Baseline(entries=(_entry(count=3),)), root=tmp_path
+        )
         assert result.baselined == 1
         assert len(result.stale_baseline) == 1
         assert "expects 3" in result.stale_baseline[0]
@@ -123,6 +127,26 @@ class TestApply:
         result = LintResult(diagnostics=[])
         apply_baseline(result, Baseline(entries=(_entry(),)))
         assert result.stale_baseline and result.baselined == 0
+
+    def test_deleted_file_entry_is_reported_distinctly(self, tmp_path):
+        # The entry's file is gone: the stale note must say so rather
+        # than pretend the count merely drifted — a deleted file can
+        # never match again, and its budget would otherwise absorb new
+        # findings at the old signature.
+        result = LintResult(diagnostics=[])
+        apply_baseline(result, Baseline(entries=(_entry(),)), root=tmp_path)
+        assert len(result.stale_baseline) == 1
+        assert "no longer exists" in result.stale_baseline[0]
+        assert "--update-baseline" in result.stale_baseline[0]
+
+    def test_existing_file_entry_keeps_count_message(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        result = LintResult(diagnostics=[])
+        apply_baseline(result, Baseline(entries=(_entry(),)), root=tmp_path)
+        assert len(result.stale_baseline) == 1
+        assert "expects 1" in result.stale_baseline[0]
+        assert "no longer exists" not in result.stale_baseline[0]
 
     def test_message_mismatch_is_not_absorbed(self):
         result = LintResult(diagnostics=[_diagnostic(message="other")])
@@ -149,6 +173,15 @@ class TestUpdate:
         result = LintResult(diagnostics=[_diagnostic(), _diagnostic()])
         updated = update_baseline(result)
         assert updated.entries[0].count == 2
+
+    def test_deleted_file_entries_are_purged(self):
+        # Rebuilding from current findings drops entries whose file is
+        # gone — nothing matches, so nothing carries over.
+        result = LintResult(diagnostics=[])
+        updated = update_baseline(
+            result, previous=Baseline(entries=(_entry(),))
+        )
+        assert updated.entries == ()
 
 
 def _write_finding_file(tmp_path):
@@ -237,6 +270,34 @@ class TestCli:
             == 1
         )
         assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_update_purges_deleted_file_entries(self, tmp_path, capsys):
+        _write_finding_file(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        lint_cli(
+            [
+                str(tmp_path),
+                "--baseline",
+                str(baseline_file),
+                "--update-baseline",
+            ]
+        )
+        (tmp_path / "bad.py").unlink()
+        capsys.readouterr()
+        assert (
+            lint_cli(
+                [
+                    str(tmp_path),
+                    "--baseline",
+                    str(baseline_file),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "purged baseline entry" in out
+        assert json.loads(baseline_file.read_text())["entries"] == []
 
     def test_analyzer_crash_exits_two(self, tmp_path, monkeypatch, capsys):
         import repro.analysis.cli as cli_module

@@ -1,0 +1,149 @@
+"""Content-hash result cache: hits, invalidation, and exactness.
+
+The cache contract is strict: a warm run must be *indistinguishable*
+from a cold run — same diagnostics, same suppression accounting (so
+MEGH013 unused-suppression findings survive replay), same exit code —
+with only the per-file rule execution skipped.  Parsing always happens
+(the parse-once architecture and the whole-program passes need the
+trees), so the cache is a rule-execution cache, not a parse cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import LintConfig, lint_paths
+from repro.analysis.cache import CACHE_FILE_NAME, LintCache
+from repro.analysis.cli import run as lint_cli
+from repro.analysis.reporting import render_json, render_text
+
+
+def _write_package(root):
+    (root / "pkg").mkdir()
+    (root / "pkg" / "__init__.py").write_text("")
+    (root / "pkg" / "clock.py").write_text(
+        "import time\nstamp = time.time()\n"
+    )
+    (root / "pkg" / "quiet.py").write_text("VALUE = 3\n")
+    return root / "pkg"
+
+
+def _signatures(result):
+    return sorted(
+        (d.path, d.line, d.rule_id, d.message) for d in result.diagnostics
+    )
+
+
+class TestHitMissAccounting:
+    def test_cold_run_is_all_misses(self, tmp_path):
+        package = _write_package(tmp_path)
+        cache = LintCache(tmp_path / "cache")
+        result = lint_paths([package], cache=cache)
+        assert result.cache_misses == 3
+        assert result.cache_hits == 0
+        assert (tmp_path / "cache" / CACHE_FILE_NAME).exists()
+
+    def test_warm_run_is_all_hits_and_identical(self, tmp_path):
+        package = _write_package(tmp_path)
+        cold = lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        warm = lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        assert warm.cache_hits == 3
+        assert warm.cache_misses == 0
+        assert _signatures(warm) == _signatures(cold)
+        assert warm.files_checked == cold.files_checked
+
+    def test_uncached_run_reports_no_counts(self, tmp_path):
+        package = _write_package(tmp_path)
+        result = lint_paths([package])
+        assert result.cache_hits is None
+        assert result.cache_misses is None
+
+
+class TestInvalidation:
+    def test_editing_one_file_misses_only_that_file(self, tmp_path):
+        package = _write_package(tmp_path)
+        lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        (package / "quiet.py").write_text(
+            "import time\nother = time.time()\n"
+        )
+        warm = lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        assert warm.cache_hits == 2
+        assert warm.cache_misses == 1
+        # The new finding is real — the whole-program record was also
+        # invalidated and the fresh per-file run reported it.
+        assert any(
+            d.path.endswith("quiet.py") and d.rule_id == "MEGH002"
+            for d in warm.diagnostics
+        )
+
+    def test_config_change_invalidates(self, tmp_path):
+        package = _write_package(tmp_path)
+        lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        narrowed = lint_paths(
+            [package],
+            LintConfig(select=["MEGH002"]),
+            cache=LintCache(tmp_path / "cache"),
+        )
+        assert narrowed.cache_misses == 3
+        assert narrowed.cache_hits == 0
+
+    def test_corrupt_cache_file_is_tolerated(self, tmp_path):
+        package = _write_package(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths([package], cache=LintCache(cache_dir))
+        (cache_dir / CACHE_FILE_NAME).write_text("{broken")
+        result = lint_paths([package], cache=LintCache(cache_dir))
+        assert result.cache_misses == 3
+        # And the rewritten file works again on the next run.
+        again = lint_paths([package], cache=LintCache(cache_dir))
+        assert again.cache_hits == 3
+
+
+class TestSuppressionReplay:
+    def test_warm_runs_keep_megh013_exact(self, tmp_path):
+        package = _write_package(tmp_path)
+        (package / "mixed.py").write_text(
+            "import time\n"
+            "used = time.time()  "
+            "# meghlint: ignore[MEGH002] -- sanctioned in this fixture\n"
+            "quiet = 1  "
+            "# meghlint: ignore[MEGH002] -- never fires, stays unused\n"
+        )
+        cold = lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        warm = lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        assert warm.cache_hits == 4
+        assert _signatures(cold) == _signatures(warm)
+        assert len(warm.unused_suppressions) == 1
+        assert warm.unused_suppressions[0].rule_id == "MEGH013"
+        assert warm.unused_suppressions[0].line == 3
+        assert [
+            (d.line, d.message) for d in warm.unused_suppressions
+        ] == [(d.line, d.message) for d in cold.unused_suppressions]
+        assert warm.suppressed == cold.suppressed == 1
+
+
+class TestReporting:
+    def test_text_summary_shows_cache_counts(self, tmp_path):
+        package = _write_package(tmp_path)
+        lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        warm = lint_paths([package], cache=LintCache(tmp_path / "cache"))
+        assert "cache: 3 hit(s), 0 miss(es)" in render_text(warm)
+        summary = json.loads(render_json(warm))["summary"]
+        assert summary["cache_hits"] == 3
+        assert summary["cache_misses"] == 0
+
+    def test_uncached_summary_omits_cache_counts(self, tmp_path):
+        package = _write_package(tmp_path)
+        result = lint_paths([package])
+        assert "cache:" not in render_text(result)
+
+
+class TestCli:
+    def test_cache_dir_flag_round_trips(self, tmp_path, capsys):
+        package = _write_package(tmp_path)
+        cache_dir = tmp_path / "cache"
+        argv = [str(package), "--cache-dir", str(cache_dir)]
+        assert lint_cli(argv) == 1  # the MEGH002 finding is real
+        assert "0 hit(s), 3 miss(es)" in capsys.readouterr().out
+        assert lint_cli(argv) == 1
+        assert "3 hit(s), 0 miss(es)" in capsys.readouterr().out
