@@ -45,7 +45,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id: table2, table3, fig2..fig8, 'compare', "
-            "'lint', 'bench', 'profile', or 'list'"
+            "'lint', 'bench', 'profile', 'serve', or 'list'"
         ),
     )
     parser.add_argument(
@@ -293,6 +293,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.harness.benchgate import run as run_bench
 
         return run_bench(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        from repro.service.cli import run as run_serve
+
+        return run_serve(arguments[1:])
     args = _build_parser().parse_args(arguments)
     experiment = args.experiment.lower()
     try:
@@ -317,6 +321,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "profile  cProfile a short simulation "
                 "(--pms/--vms/--steps/--profile-sort/--profile-limit)"
+            )
+            print(
+                "serve    churn-driven migration service "
+                "(--checkpoint-every/--resume/--trace/--events)"
             )
             return 0
     except BrokenPipeError:

@@ -33,6 +33,10 @@ class EventKind(str, Enum):
     HOST_FAILED = "host_failed"
     HOST_REPAIRED = "host_repaired"
     VM_DISPLACED = "vm_displaced"
+    # VM lifecycle (service-mode churn; see repro.service).
+    VM_CREATED = "vm_created"
+    VM_RESIZED = "vm_resized"
+    VM_DELETED = "vm_deleted"
     CUSTOM = "custom"
 
 

@@ -103,6 +103,44 @@ class MigrationEngine:
     def is_migrating(self, vm_id: int) -> bool:
         return vm_id in self._in_flight
 
+    def cancel(self, vm_id: int) -> bool:
+        """Abort an in-flight migration (the VM is being deleted).
+
+        The placement map was already updated at start, so no placement
+        rollback happens here — the caller removes the VM from whatever
+        host it occupies.  No further overhead or downtime accrues, and
+        no completion event will be reported.  Returns whether a
+        transfer was actually in flight.
+        """
+        return self._in_flight.pop(vm_id, None) is not None
+
+    def restore_flight(
+        self,
+        vm_id: int,
+        source_pm_id: int,
+        dest_pm_id: int,
+        remaining_seconds: float,
+        total_seconds: float,
+        final_downtime_seconds: float = 0.0,
+    ) -> None:
+        """Re-register an in-flight transfer from a checkpoint.
+
+        Callers must restore flights in their original insertion order:
+        :meth:`advance` iterates the in-flight dict, and the resulting
+        downtime-report order feeds the SLA accountant's first-seen
+        record order, which serialized results depend on.
+        """
+        if vm_id in self._in_flight:
+            raise MigrationError(f"VM {vm_id} is already in flight")
+        self._in_flight[vm_id] = _InFlight(
+            vm_id=vm_id,
+            source_pm_id=source_pm_id,
+            dest_pm_id=dest_pm_id,
+            remaining_seconds=remaining_seconds,
+            total_seconds=total_seconds,
+            final_downtime_seconds=final_downtime_seconds,
+        )
+
     def start(self, migrations: Iterable[Migration]) -> MigrationOutcome:
         """Begin a batch of migrations, skipping infeasible ones.
 

@@ -419,6 +419,20 @@ class SlaAccountant:
             self._record_window_single(vm_id, downtime, requested)
         return record
 
+    def reset_vm_window(self, vm_id: int) -> None:
+        """Clear a VM id's billing window (service mode: occupant left).
+
+        When a churning VM departs, its slot id may later be reused by a
+        new arrival; without this, the departed occupant's frozen window
+        would keep billing SLA paybacks against an empty slot.  The
+        cumulative counters are kept — they aggregate over everything
+        the slot ever served.  A never-seen id is a no-op.
+        """
+        if vm_id < self._win_len.shape[0]:
+            self._win_down[vm_id] = 0.0
+            self._win_req[vm_id] = 0.0
+            self._win_len[vm_id] = 0
+
     # ------------------------------------------------------------------
     # Window maintenance
     # ------------------------------------------------------------------

@@ -106,6 +106,44 @@ class DatacenterArrays:
         self._delivered_dirty = True
 
     # ------------------------------------------------------------------
+    # Slot lifecycle (service-mode churn; see repro.service)
+    # ------------------------------------------------------------------
+    def bind_vm_slot(
+        self, index: int, mips: float, ram_mb: float, bandwidth_mbps: float
+    ) -> None:
+        """Give a reused slot a new arrival's capacities.
+
+        The slot starts unplaced, active, with zero demand — the service
+        loop places it and applies its workload afterwards.
+        """
+        self.vm_mips[index] = mips
+        self.vm_ram_mb[index] = ram_mb
+        self.vm_bandwidth_mbps[index] = bandwidth_mbps
+        self.vm_demand[index] = 0.0
+        self.vm_delivered[index] = 0.0
+        self.vm_bw_demand[index] = 0.0
+        self.vm_active[index] = True
+        self.host_of[index] = -1
+        self.mark_placement_dirty()
+
+    def clear_vm_slot(self, index: int) -> None:
+        """Retire a departed VM's slot: inactive, unplaced, zero demand.
+
+        The caller must have removed the VM from its host first (the
+        placement aggregates are marked dirty here regardless, so a
+        same-step reuse rebuilds from consistent state).
+        """
+        self.vm_mips[index] = 0.0
+        self.vm_ram_mb[index] = 0.0
+        self.vm_bandwidth_mbps[index] = 0.0
+        self.vm_demand[index] = 0.0
+        self.vm_delivered[index] = 0.0
+        self.vm_bw_demand[index] = 0.0
+        self.vm_active[index] = False
+        self.host_of[index] = -1
+        self.mark_placement_dirty()
+
+    # ------------------------------------------------------------------
     # Lazily-rebuilt per-PM aggregates
     # ------------------------------------------------------------------
     def _sum_by_host(self, weights: np.ndarray) -> np.ndarray:

@@ -76,6 +76,7 @@ class MeghScheduler:
         bandwidth_beta: Optional[float] = None,
         trace=None,
         contracts=None,
+        dynamic_slots: bool = False,
     ) -> None:
         if not 0 < beta <= 1:
             raise ConfigurationError("beta must be in (0, 1]")
@@ -91,6 +92,11 @@ class MeghScheduler:
             gamma=self.config.gamma,
             delta=self.config.delta,
         )
+        #: Service mode: VM slots are reused across arrivals/departures,
+        #: so the learner tracks its forward operator for retirement.
+        self.dynamic_slots = dynamic_slots
+        if dynamic_slots:
+            self.lstd.enable_operator_tracking()
         self.policy = policy or BoltzmannPolicy(
             initial_temperature=self.config.initial_temperature,
             decay=self.config.temperature_decay,
@@ -137,6 +143,7 @@ class MeghScheduler:
                 if dc_config.bandwidth_aware
                 else None
             ),
+            dynamic_slots=getattr(simulation, "dynamic_slots", False),
         )
 
     # ------------------------------------------------------------------
@@ -199,6 +206,33 @@ class MeghScheduler:
             Migration(vm_id=a.vm_id, dest_pm_id=a.dest_pm_id)
             for a, _ in moves
         ]
+
+    def retire_vm(self, vm_slot: int) -> None:
+        """Forget everything learned about a departed VM's slot.
+
+        Clears the slot's block of ``M`` action indices from ``B`` and
+        ``z`` (see :meth:`~repro.core.lstd.SparseLstd.retire_actions`)
+        so a new arrival reusing the slot starts from the never-observed
+        state.  Pending Algorithm-1 updates for the retired indices are
+        dropped — the VM no longer exists, so there is no next state to
+        bootstrap from.  Requires ``dynamic_slots=True``.
+        """
+        if not 0 <= vm_slot < self.action_space.num_vms:
+            raise ConfigurationError(
+                f"vm_slot {vm_slot} out of range "
+                f"[0, {self.action_space.num_vms})"
+            )
+        num_pms = self.action_space.num_pms
+        indices = range(vm_slot * num_pms, (vm_slot + 1) * num_pms)
+        retired = set(indices)
+        self._previous_action_indices = [
+            index
+            for index in self._previous_action_indices
+            if index not in retired
+        ]
+        self.lstd.retire_actions(indices)
+        if self.auditor is not None:
+            self.auditor.after_retirement(indices)
 
     # ------------------------------------------------------------------
     # Candidate generation ("which VM" and "where")

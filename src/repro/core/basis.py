@@ -9,7 +9,8 @@ approximated cost-to-go is ``V(s) = theta^T phi_pi(s) = theta[index]``.
 
 from __future__ import annotations
 
-from typing import Dict
+import heapq
+from typing import Dict, List, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.mdp.action import ActionSpace, MigrationAction
@@ -53,3 +54,90 @@ class SparseBasis:
         if gamma == 0.0:  # meghlint: ignore[MEGH003] -- exact config sentinel: gamma=0 stores a strictly sparser vector
             return {a: 1.0}
         return {a: 1.0, b: -gamma}
+
+
+class VmSlotPool:
+    """Free-list of VM slots mapping churning VM uids onto a fixed basis.
+
+    The projection space is sized once (``d = capacity x M``); VMs that
+    arrive and depart reuse slots instead of growing ``d`` with the
+    cumulative population.  Allocation is deterministic — always the
+    lowest free slot id — so a churn schedule maps to the same slot
+    assignment on every run and across checkpoint/resume.
+
+    A *uid* is the service-level VM identity (unique over the whole run);
+    a *slot* is the basis/array index in ``[0, capacity)``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._free: List[int] = list(range(capacity))
+        heapq.heapify(self._free)
+        self._slot_of: Dict[int, int] = {}
+        self._uid_of: Dict[int, int] = {}
+
+    @classmethod
+    def restore(
+        cls, capacity: int, slot_of: Mapping[int, int]
+    ) -> "VmSlotPool":
+        """Rebuild a pool from its ``uid -> slot`` map (checkpoint)."""
+        pool = cls(capacity)
+        used = set()
+        for uid, slot in slot_of.items():
+            uid, slot = int(uid), int(slot)
+            if not 0 <= slot < capacity:
+                raise ConfigurationError(
+                    f"slot {slot} out of range [0, {capacity})"
+                )
+            if slot in used:
+                raise ConfigurationError(f"slot {slot} assigned twice")
+            used.add(slot)
+            pool._slot_of[uid] = slot
+            pool._uid_of[slot] = uid
+        pool._free = [slot for slot in range(capacity) if slot not in used]
+        heapq.heapify(pool._free)
+        return pool
+
+    @property
+    def num_live(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def num_free(self) -> int:
+        return len(self._free)
+
+    def allocate(self, uid: int) -> Optional[int]:
+        """Bind ``uid`` to the lowest free slot; ``None`` when full."""
+        if uid in self._slot_of:
+            raise ConfigurationError(f"uid {uid} is already allocated")
+        if not self._free:
+            return None
+        slot = heapq.heappop(self._free)
+        self._slot_of[uid] = slot
+        self._uid_of[slot] = uid
+        return slot
+
+    def release(self, uid: int) -> int:
+        """Return ``uid``'s slot to the free list; returns the slot."""
+        slot = self._slot_of.pop(uid, None)
+        if slot is None:
+            raise ConfigurationError(f"uid {uid} is not allocated")
+        del self._uid_of[slot]
+        heapq.heappush(self._free, slot)
+        return slot
+
+    def slot_of(self, uid: int) -> Optional[int]:
+        return self._slot_of.get(uid)
+
+    def uid_of(self, slot: int) -> Optional[int]:
+        return self._uid_of.get(slot)
+
+    def live_uids(self) -> List[int]:
+        """Live uids in ascending order (deterministic iteration)."""
+        return sorted(self._slot_of)
+
+    def slot_map(self) -> Dict[int, int]:
+        """Copy of the ``uid -> slot`` map (checkpoint serialization)."""
+        return dict(self._slot_of)

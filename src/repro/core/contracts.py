@@ -149,6 +149,39 @@ class ShermanMorrisonAuditor:
         if self.updates_observed % self.config.audit_every == 0:
             self.audit()
 
+    def after_retirement(self, indices) -> None:
+        """Record an ``lstd.retire_actions(indices)`` call and audit now.
+
+        Retirement rewrites whole rows and columns of ``B`` in one shot,
+        so unlike routine updates the audit runs immediately — every
+        retirement is validated against a fresh solve of the mirrored
+        operator with the same rows/columns reset to ``delta I``.
+        """
+        if self._mirror is not None:
+            for index in indices:
+                self._mirror[index, :] = 0.0
+                self._mirror[:, index] = 0.0
+                self._mirror[index, index] = self.lstd.delta
+        self.audit()
+
+    def rebuild_mirror(self, entries) -> None:
+        """Reseed the dense mirror from ``(row, col, value)`` triplets.
+
+        Checkpoint resume cannot replay the update history, but the
+        learner's operator tracker stores exactly ``T - delta I``; the
+        mirror restored here matches what incremental replay would have
+        produced up to float summation order (well inside the audit
+        tolerance, and exactly for dyadic ``gamma``).  No-op when the
+        dense mirror is inactive.
+        """
+        if self._mirror is None:
+            return
+        mirror = np.eye(self.lstd.dimension) * self.lstd.delta
+        for i, j, value in entries:
+            mirror[int(i), int(j)] += float(value)
+        self._mirror = mirror
+        self._applied_seen = self.lstd.updates_applied
+
     # ------------------------------------------------------------------
     # Checks
     # ------------------------------------------------------------------

@@ -29,7 +29,16 @@ Hot-path layout (see ``docs/performance.md``):
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, MutableMapping, Optional, Sequence, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 import numpy as np
 
@@ -123,6 +132,13 @@ class SparseLstd:
         self.z = {}
         self.updates_applied = 0
         self.updates_skipped = 0
+        #: Opt-in sparse record of ``T - delta I`` (see
+        #: :meth:`enable_operator_tracking`): row -> {column -> value}.
+        self._t_rows: Optional[Dict[int, Dict[int, float]]] = None
+        #: Column index over the tracker: column -> set of tracked rows.
+        self._t_cols: Dict[int, Set[int]] = {}
+        self.retirements_applied = 0
+        self.retirements_skipped = 0
 
     # ------------------------------------------------------------------
     # Guarded state: replacing B or z resets the theta cache
@@ -218,6 +234,9 @@ class SparseLstd:
                 bu, columns, values, scale=-1.0 / denominator
             )
             self.updates_applied += 1
+            if self._t_rows is not None:
+                self._track_entry(a, a, 1.0)
+                self._track_entry(a, a_next, -self.gamma)
 
         # Dirty rows: support of column a of the *pre-update* B.  This
         # covers both the rank-1 row rewrites and the z[a] change (and
@@ -234,6 +253,199 @@ class SparseLstd:
             raise ConfigurationError(
                 f"action index {index} out of range [0, {self.dimension})"
             )
+
+    # ------------------------------------------------------------------
+    # Operator tracking and retirement (service mode)
+    # ------------------------------------------------------------------
+    @property
+    def operator_tracking_enabled(self) -> bool:
+        """Whether the sparse ``T - delta I`` record is being maintained."""
+        return self._t_rows is not None
+
+    def enable_operator_tracking(self) -> None:
+        """Start recording the forward operator's off-``delta I`` part.
+
+        :meth:`retire_actions` needs to know which updates ever touched a
+        row or column of ``T``; the batch simulator never retires, so the
+        record is opt-in to keep its hot path free of bookkeeping.  Must
+        be enabled before the first :meth:`update` — enabling later would
+        leave the record blind to history it cannot reconstruct.
+        """
+        if self._t_rows is not None:
+            return
+        if self.updates_applied or self.updates_skipped:
+            raise ConfigurationError(
+                "operator tracking must be enabled before the first update"
+            )
+        self._t_rows = {}
+        self._t_cols = {}
+
+    def _track_entry(self, i: int, j: int, delta: float) -> None:
+        """Tracker ``T[i, j] += delta`` with exact-zero pruning."""
+        rows = self._t_rows
+        assert rows is not None
+        row = rows.setdefault(i, {})
+        value = row.get(j, 0.0) + delta
+        if value == 0.0:  # meghlint: ignore[MEGH003] -- gamma is dyadic in practice; exact cancellation prunes the entry
+            row.pop(j, None)
+            if not row:
+                del rows[i]
+            rows_of = self._t_cols.get(j)
+            if rows_of is not None:
+                rows_of.discard(i)
+                if not rows_of:
+                    del self._t_cols[j]
+        else:
+            row[j] = value
+            self._t_cols.setdefault(j, set()).add(i)
+
+    def operator_entries(self) -> List[tuple]:
+        """Tracked entries as sorted ``(row, col, value)`` triplets.
+
+        Checkpoint serialization; :meth:`load_operator_entries` inverts.
+        """
+        if self._t_rows is None:
+            raise ConfigurationError("operator tracking is not enabled")
+        triplets: List[tuple] = []
+        for i in sorted(self._t_rows):
+            row = self._t_rows[i]
+            for j in sorted(row):
+                triplets.append((i, j, row[j]))
+        return triplets
+
+    def load_operator_entries(
+        self, triplets: Iterable[Sequence[float]]
+    ) -> None:
+        """Restore the tracker from :meth:`operator_entries` triplets."""
+        rows: Dict[int, Dict[int, float]] = {}
+        cols: Dict[int, Set[int]] = {}
+        for triplet in triplets:
+            i, j, value = int(triplet[0]), int(triplet[1]), float(triplet[2])
+            self._check_action(i)
+            self._check_action(j)
+            if value == 0.0:  # meghlint: ignore[MEGH003] -- exact store sentinel: zeros are never stored
+                continue
+            rows.setdefault(i, {})[j] = value
+            cols.setdefault(j, set()).add(i)
+        self._t_rows = rows
+        self._t_cols = cols
+
+    def retire_actions(self, indices: Iterable[int]) -> int:
+        """Remove a set of action indices from the learned operator.
+
+        When a VM departs, its block of action indices must revert to the
+        never-observed state — otherwise the operator accumulates weight
+        for actions that can no longer be taken, and a slot reused by a
+        new VM would inherit a stranger's history.  With ``S`` the index
+        set, the target operator is ``T'`` equal to ``T`` outside ``S``
+        and ``delta I`` on it; since every update contributed
+        ``e_a (e_a - gamma e_{a'})^T``, the tracked record of
+        ``T - delta I`` tells us exactly which rank-1 corrections undo
+        the ``S`` rows and columns:
+
+        1. **Row clears** — for each ``i`` in ``S`` with tracked row
+           ``t``, ``T' = T - e_i t^T`` gives (Sherman–Morrison)
+           ``B' = B + B e_i (t^T B) / (1 - t^T B e_i)``.
+        2. **Column clears** — after all row clears, for each ``j`` in
+           ``S`` with remaining tracked column entries ``w`` (all in rows
+           outside ``S`` now), ``T' = T - w e_j^T`` gives
+           ``B' = B + (B w)(e_j^T B) / (1 - e_j^T B w)``.
+        3. **Snap** — ``T'`` is now block-diagonal with ``delta I`` on
+           the ``S`` block, so ``B'``'s ``S`` rows and columns are
+           exactly ``(1/delta) e_i``; they are hard-written to remove
+           floating-point residue deterministically.
+
+        ``T`` stays strictly diagonally dominant throughout
+        (``gamma < 1``), so the denominators are mathematically nonzero;
+        a floor guard still skips any correction whose denominator
+        underflows (counted in :attr:`retirements_skipped` — the
+        contracts auditor would surface any resulting drift).
+
+        ``z`` entries for ``S`` are deleted and the theta cache is fully
+        invalidated.  Returns the number of indices retired.
+        """
+        if self._t_rows is None:
+            raise ConfigurationError(
+                "retire_actions requires operator tracking; call "
+                "enable_operator_tracking() before the first update"
+            )
+        retired = sorted({int(i) for i in indices})
+        for i in retired:
+            self._check_action(i)
+        if not retired:
+            return 0
+        self._sync_with_b()
+
+        # (1) row clears.
+        for i in retired:
+            trow = self._t_rows.get(i)
+            if trow:
+                bu = self._B.column(i)
+                denominator = 1.0
+                vtb: Dict[int, float] = {}
+                for j in sorted(trow):
+                    weight = trow[j]
+                    denominator -= weight * self._B.get(j, i)
+                    row_idx, row_val = self._B.row_view(j)
+                    for column, value in zip(
+                        row_idx.tolist(), row_val.tolist()
+                    ):
+                        vtb[column] = vtb.get(column, 0.0) + weight * value
+                if abs(denominator) < DENOMINATOR_FLOOR:
+                    self.retirements_skipped += 1
+                else:
+                    self._B.rank_one_update(bu, vtb, scale=1.0 / denominator)
+            if trow is not None:
+                for j in list(trow):
+                    rows_of = self._t_cols.get(j)
+                    if rows_of is not None:
+                        rows_of.discard(i)
+                        if not rows_of:
+                            del self._t_cols[j]
+                del self._t_rows[i]
+
+        # (2) column clears.  Row clears removed every tracked row in S,
+        # so the remaining entries of a retired column all live in rows
+        # that survive — exactly the coupling left to undo.
+        for j in retired:
+            rows_of = self._t_cols.get(j)
+            if not rows_of:
+                self._t_cols.pop(j, None)
+                continue
+            entries = [(r, self._t_rows[r][j]) for r in sorted(rows_of)]
+            bw: Dict[int, float] = {}
+            denominator = 1.0
+            for r, weight in entries:
+                denominator -= weight * self._B.get(j, r)
+                for row_index, value in self._B.column(r).items():
+                    bw[row_index] = bw.get(row_index, 0.0) + weight * value
+            row_j = self._B.row(j)
+            if abs(denominator) < DENOMINATOR_FLOOR:
+                self.retirements_skipped += 1
+            else:
+                self._B.rank_one_update(bw, row_j, scale=1.0 / denominator)
+            for r, _ in entries:
+                remaining = self._t_rows[r]
+                del remaining[j]
+                if not remaining:
+                    del self._t_rows[r]
+            del self._t_cols[j]
+
+        # (3) snap the S block of B to (1/delta) I.
+        inverse_delta = 1.0 / self.delta
+        for i in retired:
+            for j in list(self._B.row(i)):
+                self._B.set(i, j, 0.0)
+            for r in self._B.rows_with_column(i):
+                self._B.set(r, i, 0.0)
+            self._B.set(i, i, inverse_delta)
+
+        for i in retired:
+            self._z.pop(i, None)
+        self.invalidate_theta_cache()
+        self._b_mutations_seen = self._B.mutations
+        self.retirements_applied += 1
+        return len(retired)
 
     # ------------------------------------------------------------------
     # Q evaluation (cached)

@@ -197,6 +197,18 @@ def _build_google(seed: int = 0, **params: Any):
     return build_google_simulation(seed=seed, **params)
 
 
+def _build_churn(seed: int = 0, **params: Any):
+    """Registry wrapper for :func:`build_churn_service` (service mode).
+
+    The returned :class:`~repro.service.loop.ServiceSimulation` follows
+    the builder protocol (``reset()`` / ``run(scheduler, num_steps)``),
+    so specs and checkpoints can reference it by name.
+    """
+    from repro.service.builders import build_churn_service
+
+    return build_churn_service(seed=seed, **params)
+
+
 def _make_megh(simulation, seed: int = 0, config: Optional[Mapping[str, Any]] = None):
     """Megh agent sized to the simulation; ``config`` maps MeghConfig fields."""
     from repro.config import MeghConfig
@@ -243,6 +255,7 @@ def _make_random(simulation, seed: int = 0, migrations_per_step: int = 1):
 
 register_builder("planetlab", _build_planetlab)
 register_builder("google", _build_google)
+register_builder("churn", _build_churn)
 register_scheduler("megh", _make_megh)
 register_scheduler("madvm", _make_madvm)
 register_scheduler("mmt", _make_mmt)

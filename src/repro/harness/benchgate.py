@@ -1,9 +1,10 @@
 """``repro bench --check`` — perf-regression smoke gate.
 
-Compares fresh ``--fast`` numbers from ``benchmarks/bench_core_lstd.py``
-and ``benchmarks/bench_sim_step.py`` against the committed paper-scale
-records (``BENCH_core.json`` / ``BENCH_sim.json``) and fails when a
-throughput metric falls below its noise floor.
+Compares fresh ``--fast`` numbers from ``benchmarks/bench_core_lstd.py``,
+``benchmarks/bench_sim_step.py`` and ``benchmarks/bench_service_churn.py``
+against the committed records (``BENCH_core.json`` / ``BENCH_sim.json``
+/ ``BENCH_service.json``) and fails when a throughput metric falls below
+its noise floor.
 
 Fast mode runs a much smaller problem than the committed records, so
 the two are *not* directly comparable — batched kernels lose their
@@ -50,6 +51,9 @@ METRIC_FLOORS: Tuple[Tuple[str, str, float], ...] = (
     ("core", "lstd.warm_over_cold_speedup", 0.20),
     ("sim", "sim_step.after.steps_per_s_non_scheduler", 1.00),
     ("sim", "sim_step.speedup_non_scheduler", 0.08),
+    ("service", "service_churn.steps_per_s", 0.50),
+    ("service", "service_churn.events_per_s", 0.30),
+    ("service", "service_churn.retirements_per_s", 0.25),
 )
 
 
@@ -199,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="committed simulator-benchmark record",
     )
     parser.add_argument(
+        "--committed-service",
+        default="BENCH_service.json",
+        metavar="FILE",
+        help="committed service-benchmark record",
+    )
+    parser.add_argument(
         "--fresh-core",
         default=None,
         metavar="FILE",
@@ -209,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="use this JSON instead of running bench_sim_step.py",
+    )
+    parser.add_argument(
+        "--fresh-service",
+        default=None,
+        metavar="FILE",
+        help="use this JSON instead of running bench_service_churn.py",
     )
     parser.add_argument(
         "--seed",
@@ -236,6 +252,7 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         committed = {
             "core": _load_json(Path(args.committed_core)),
             "sim": _load_json(Path(args.committed_sim)),
+            "service": _load_json(Path(args.committed_service)),
         }
         with tempfile.TemporaryDirectory(prefix="benchgate-") as scratch:
             scratch_dir = Path(scratch)
@@ -257,9 +274,19 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                     fresh_sim,
                     args.seed,
                 )
+            if args.fresh_service is not None:
+                fresh_service = Path(args.fresh_service)
+            else:
+                fresh_service = scratch_dir / "fresh_service.json"
+                _run_fast_benchmark(
+                    Path(args.bench_dir) / "bench_service_churn.py",
+                    fresh_service,
+                    args.seed,
+                )
             fresh = {
                 "core": _load_json(fresh_core),
                 "sim": _load_json(fresh_sim),
+                "service": _load_json(fresh_service),
             }
     except (OSError, ValueError, subprocess.CalledProcessError) as error:
         print(f"repro bench: error: {error}")

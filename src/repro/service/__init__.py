@@ -1,0 +1,27 @@
+"""Long-running migration service with VM churn (service mode).
+
+A :class:`~repro.service.loop.ServiceSimulation` replaces the fixed-fleet
+batch driver of :class:`~repro.cloudsim.simulation.Simulation` with an
+event-driven loop: VMs arrive, resize and depart according to a seeded
+:class:`~repro.service.churn.ChurnModel` (or a JSONL trace), slots in
+the fixed-size projection basis are reused through a
+:class:`~repro.core.basis.VmSlotPool`, and the learner forgets departed
+VMs via Sherman–Morrison retirement.  Runs can be checkpointed and
+resumed bit-identically (``repro serve --checkpoint-every/--resume``).
+"""
+
+from repro.service.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnModel,
+    TraceChurnModel,
+)
+from repro.service.loop import ServiceSimulation
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnModel",
+    "TraceChurnModel",
+    "ServiceSimulation",
+]

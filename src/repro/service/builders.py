@@ -1,0 +1,119 @@
+"""Constructors for churn-driven service simulations.
+
+:func:`build_churn_service` assembles a :class:`ServiceSimulation` from
+scalar parameters only, which makes it registry-friendly: it is
+registered as the ``"churn"`` builder, and the spec it attaches to the
+service (builder name + params + seed) is what lets a checkpoint rebuild
+the identical service on restore.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.pm import PhysicalMachine
+from repro.cloudsim.power import HP_PROLIANT_G4, HP_PROLIANT_G5
+from repro.cloudsim.vm import VirtualMachine
+from repro.config import SimulationConfig
+from repro.harness.builders import (
+    G4_MIPS,
+    G5_MIPS,
+    PM_BANDWIDTH_MBPS,
+    PM_RAM_MB,
+)
+from repro.service.churn import ChurnConfig, ChurnModel, TraceChurnModel
+from repro.service.loop import ServiceSimulation
+
+__all__ = ["build_churn_service"]
+
+
+def _placeholder_fleet(num_pms: int, capacity: int) -> Datacenter:
+    """A PlanetLab-style PM fleet plus ``capacity`` inactive VM slots.
+
+    Placeholder slots carry minimal valid capacities (1 MIPS / 1 MB);
+    arrivals overwrite them via ``DatacenterArrays.bind_vm_slot``.
+    """
+    pms = [
+        PhysicalMachine(
+            pm_id=pm_id,
+            mips=G4_MIPS if pm_id % 2 == 0 else G5_MIPS,
+            ram_mb=PM_RAM_MB,
+            bandwidth_mbps=PM_BANDWIDTH_MBPS,
+            power_model=(
+                HP_PROLIANT_G4 if pm_id % 2 == 0 else HP_PROLIANT_G5
+            ),
+        )
+        for pm_id in range(num_pms)
+    ]
+    slots = [
+        VirtualMachine(
+            vm_id=slot,
+            mips=1.0,
+            ram_mb=1.0,
+            bandwidth_mbps=1.0,
+            _active=False,
+        )
+        for slot in range(capacity)
+    ]
+    return Datacenter(pms, slots)
+
+
+def build_churn_service(
+    seed: int = 0,
+    num_pms: int = 8,
+    capacity: int = 12,
+    num_steps: int = 96,
+    arrival_rate: float = 0.6,
+    mean_lifetime_steps: float = 24.0,
+    initial_vms: int = 6,
+    resize_probability: float = 0.15,
+    decide_every: int = 1,
+    scan_every: int = 1,
+    trace_path: Optional[str] = None,
+) -> ServiceSimulation:
+    """A churn-driven service on a PlanetLab-style fleet.
+
+    With ``trace_path`` the churn schedule is replayed from a JSONL
+    lifecycle trace (the distribution parameters are then unused);
+    otherwise it is generated from ``seed``.  The returned service
+    carries a registry spec, so its checkpoints are self-describing.
+    """
+    datacenter = _placeholder_fleet(num_pms, capacity)
+    config = SimulationConfig(num_steps=num_steps, seed=seed)
+    if trace_path is not None:
+        churn: Any = TraceChurnModel.from_jsonl(
+            trace_path, num_steps=num_steps
+        )
+    else:
+        churn = ChurnModel(
+            ChurnConfig(
+                arrival_rate=arrival_rate,
+                mean_lifetime_steps=mean_lifetime_steps,
+                initial_vms=initial_vms,
+                resize_probability=resize_probability,
+            ),
+            num_steps=num_steps,
+            seed=seed,
+        )
+    params: Dict[str, Any] = {
+        "num_pms": num_pms,
+        "capacity": capacity,
+        "num_steps": num_steps,
+        "arrival_rate": arrival_rate,
+        "mean_lifetime_steps": mean_lifetime_steps,
+        "initial_vms": initial_vms,
+        "resize_probability": resize_probability,
+        "decide_every": decide_every,
+        "scan_every": scan_every,
+    }
+    if trace_path is not None:
+        params["trace_path"] = trace_path
+    return ServiceSimulation(
+        datacenter,
+        churn,
+        config,
+        decide_every=decide_every,
+        scan_every=scan_every,
+        spec={"builder": "churn", "seed": seed, "params": params},
+    )

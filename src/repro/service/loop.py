@@ -1,0 +1,827 @@
+"""Event-driven service loop: churn, stepping, checkpointed learning.
+
+:class:`ServiceSimulation` is the long-running counterpart of the batch
+:class:`~repro.cloudsim.simulation.Simulation`.  Instead of replaying a
+fixed-fleet workload, each observation interval drains a deterministic
+event queue:
+
+1. **lifecycle events** from the churn schedule with ``step <= t`` —
+   departures cancel in-flight migrations, clear the slot, retire the
+   learner's block and return the slot to the
+   :class:`~repro.core.basis.VmSlotPool`; arrivals claim the lowest free
+   slot and join the placement queue; resizes rescale a VM's CPU;
+2. **placement** of queued arrivals, first-fit in host-id order;
+3. **demand**: every live VM's utilization for this step, from a
+   per-VM trace that is a pure function of ``(workload_seed, uid)`` —
+   regenerable bit-identically after a checkpoint restore;
+4. **utilization scans** (``monitor.observe``) on scan ticks;
+5. **scheduler decisions** on decide ticks, fed the cost accumulated
+   since the previous tick;
+6. the exact batch-driver mechanics: CPU sharing, migration advance,
+   SLA accounting, step cost, host sleep, metrics — with
+   ``scheduler_seconds`` pinned to 0.0 so results are wall-clock-free;
+7. **checkpointing** on the configured cadence.
+
+Bit-identity contract
+---------------------
+A run interrupted at step *k* and resumed from its checkpoint produces a
+``SimulationResult.to_dict()`` byte-identical to the uninterrupted run.
+Everything order- or state-bearing is captured: the churn cursor (the
+schedule itself is regenerated from the seed), live-VM insertion order,
+the migration engine's in-flight *insertion order* (it determines the
+SLA accountant's first-seen record order), monitor rings, SLA windows,
+per-step metrics and cost-model totals.  Demand traces and the churn
+schedule are deliberately *not* stored — they are pure functions of the
+seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cloudsim.datacenter import Datacenter
+from repro.cloudsim.events import Event, EventKind, EventLog
+from repro.cloudsim.metrics import MetricsCollector, StepMetrics
+from repro.cloudsim.migration import MigrationEngine, MigrationOutcome
+from repro.cloudsim.monitor import UtilizationMonitor
+from repro.cloudsim.simulation import Simulation, SimulationResult
+from repro.cloudsim.sla import SlaAccountant
+from repro.config import SimulationConfig
+from repro.core.basis import VmSlotPool
+from repro.costs.model import OperationCostModel
+from repro.errors import ConfigurationError, SchedulerError
+from repro.mdp.interfaces import Observation, Scheduler
+from repro.mdp.state import observe_state
+from repro.service.churn import (
+    CREATE,
+    DELETE,
+    RESIZE,
+    ChurnEvent,
+    ChurnModel,
+    TraceChurnModel,
+)
+
+__all__ = ["ServiceSimulation"]
+
+#: Demand-trace shape: an AR(1)-style random walk in utilization space.
+_TRACE_BASE_RANGE = (0.15, 0.75)
+_TRACE_SIGMA = 0.08
+_TRACE_LO = 0.02
+_TRACE_HI = 1.0
+
+_EMPTY_OUTCOME = MigrationOutcome(
+    started=(), rejected=(), completed=(), downtime_seconds={}
+)
+
+
+@dataclass
+class _LiveVm:
+    """Bookkeeping for one live VM: identity, slot, capacities, demand."""
+
+    uid: int
+    slot: int
+    created_step: int
+    mips: float
+    ram_mb: float
+    bandwidth_mbps: float
+    trace: np.ndarray
+
+
+class _Runtime:
+    """Mutable per-run state; rebuilt fresh or from a checkpoint."""
+
+    def __init__(
+        self,
+        steps: int,
+        engine: MigrationEngine,
+        accountant: SlaAccountant,
+        cost_model: OperationCostModel,
+        collector: MetricsCollector,
+        monitor: UtilizationMonitor,
+        pool: VmSlotPool,
+    ) -> None:
+        self.steps = steps
+        self.engine = engine
+        self.accountant = accountant
+        self.cost_model = cost_model
+        self.collector = collector
+        self.monitor = monitor
+        self.pool = pool
+        self.live: Dict[int, _LiveVm] = {}
+        self.pending: List[int] = []
+        self.cursor = 0
+        self.cost_since_decide = 0.0
+        self.start_step = 0
+
+
+class ServiceSimulation:
+    """Binds a churn schedule to a datacenter of reusable VM slots.
+
+    Args:
+        datacenter: a struct-of-arrays :class:`Datacenter` whose VM
+            population is ``capacity`` *placeholder* slots (inactive,
+            unplaced); arrivals bind them and departures clear them.
+        churn: a :class:`ChurnModel` or :class:`TraceChurnModel` whose
+            horizon covers the run.
+        config: simulation parameters (interval, costs, thresholds).
+        decide_every: scheduler decision cadence, in steps.
+        scan_every: utilization-scan (monitor) cadence, in steps.
+        workload_seed: seed of the per-VM demand traces (default:
+            ``config.seed``).
+        monitor_history: samples kept per entity by the monitor.
+        spec: registry rebuild info (``{"builder", "seed", "params"}``)
+            — attached by the builder so a checkpoint can reconstruct
+            the service; ``None`` for hand-built instances.
+    """
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        churn: Union[ChurnModel, TraceChurnModel],
+        config: Optional[SimulationConfig] = None,
+        decide_every: int = 1,
+        scan_every: int = 1,
+        workload_seed: Optional[int] = None,
+        monitor_history: int = 12,
+        spec: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if getattr(datacenter, "arrays", None) is None:
+            raise ConfigurationError(
+                "service mode requires the struct-of-arrays Datacenter"
+            )
+        if decide_every < 1 or scan_every < 1:
+            raise ConfigurationError(
+                "decide_every and scan_every must be >= 1"
+            )
+        self.datacenter = datacenter
+        self.churn = churn
+        self.config = config or SimulationConfig()
+        if churn.num_steps < self.config.num_steps:
+            raise ConfigurationError(
+                f"churn horizon covers {churn.num_steps} steps but the "
+                f"run needs {self.config.num_steps}"
+            )
+        self.decide_every = decide_every
+        self.scan_every = scan_every
+        self.workload_seed = (
+            self.config.seed if workload_seed is None else workload_seed
+        )
+        self.monitor_history = monitor_history
+        self.spec = spec
+        #: Marks service mode for ``MeghScheduler.from_simulation`` —
+        #: the learner enables operator tracking so slots can retire.
+        self.dynamic_slots = True
+        self.capacity = datacenter.num_vms
+        self._runtime: Optional[_Runtime] = None
+        self._resume_state: Optional[Dict[str, Any]] = None
+        self._resume_rings: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return every slot to the pristine placeholder state."""
+        datacenter = self.datacenter
+        for vm in datacenter.vms:
+            if datacenter.is_placed(vm.vm_id):
+                datacenter.remove(vm.vm_id)
+        for pm in datacenter.pms:
+            pm.wake()
+        for slot in range(self.capacity):
+            vm = datacenter.vm(slot)
+            vm.set_active(False)
+            vm.mips = 1.0
+            vm.ram_mb = 1.0
+            vm.bandwidth_mbps = 1.0
+            datacenter.arrays.clear_vm_slot(slot)
+        self._runtime = None
+
+    def _install_resume(
+        self, state: Dict[str, Any], rings: Dict[str, np.ndarray]
+    ) -> None:
+        """Arm the next :meth:`run` to continue from checkpoint state."""
+        self._resume_state = state
+        self._resume_rings = dict(rings)
+
+    # ------------------------------------------------------------------
+    # Demand traces
+    # ------------------------------------------------------------------
+    def _demand_trace(
+        self, uid: int, created_step: int, total_steps: int
+    ) -> np.ndarray:
+        """The VM's utilization trace, a pure function of its identity.
+
+        Seeding with ``(workload_seed, uid)`` makes the trace
+        independent of creation order and regenerable bit-identically
+        after a checkpoint restore.
+        """
+        rng = np.random.default_rng((self.workload_seed, uid))  # meghlint: ignore[MEGH005] -- seeded by the constructor-plumbed workload_seed; (seed, uid) keying is the restore bit-identity contract
+        length = max(1, total_steps - created_step)
+        level = float(rng.uniform(*_TRACE_BASE_RANGE))
+        deltas = rng.normal(0.0, _TRACE_SIGMA, size=length)
+        trace = np.empty(length, dtype=np.float64)
+        for index in range(length):
+            level = min(_TRACE_HI, max(_TRACE_LO, level + deltas[index]))
+            trace[index] = level
+        return trace
+
+    # ------------------------------------------------------------------
+    # Runtime construction
+    # ------------------------------------------------------------------
+    def _build_engine(self) -> MigrationEngine:
+        dc_config = self.config.datacenter
+        return MigrationEngine(
+            self.datacenter,
+            overhead_fraction=dc_config.migration_overhead_fraction,
+            alpha=dc_config.migration_cpu_threshold,
+        )
+
+    def _bandwidth_threshold(self) -> Optional[float]:
+        dc_config = self.config.datacenter
+        if dc_config.bandwidth_aware:
+            return dc_config.bandwidth_overload_threshold
+        return None
+
+    def _fresh_runtime(self, steps: int) -> _Runtime:
+        accountant = SlaAccountant(
+            beta=self.config.datacenter.overload_threshold,
+            window_seconds=self.config.costs.sla_billing_window_seconds,
+            interval_seconds=self.config.interval_seconds,
+            bandwidth_threshold=self._bandwidth_threshold(),
+        )
+        return _Runtime(
+            steps=steps,
+            engine=self._build_engine(),
+            accountant=accountant,
+            cost_model=OperationCostModel(self.config.costs),
+            collector=MetricsCollector(),
+            monitor=UtilizationMonitor(history_length=self.monitor_history),
+            pool=VmSlotPool(self.capacity),
+        )
+
+    def _restored_runtime(
+        self,
+        state: Dict[str, Any],
+        rings: Dict[str, np.ndarray],
+        steps: int,
+        event_log: Optional[EventLog],
+    ) -> _Runtime:
+        from repro.engine.serialize import _sla_from_dict, _step_from_dict
+
+        if int(state["total_steps"]) != steps:
+            raise ConfigurationError(
+                f"checkpoint was taken on a {state['total_steps']}-step "
+                f"run; cannot resume it for {steps} steps"
+            )
+        datacenter = self.datacenter
+        arrays = datacenter.arrays
+        runtime = self._fresh_runtime(steps)
+
+        # Live VMs, in their original insertion order; traces regenerate
+        # from (workload_seed, uid).
+        slot_of: Dict[int, int] = {}
+        placements: List[tuple[int, int]] = []
+        for entry in state["live"]:
+            uid, slot, created_step = (
+                int(entry[0]),
+                int(entry[1]),
+                int(entry[2]),
+            )
+            mips, ram_mb, bandwidth = (
+                float(entry[3]),
+                float(entry[4]),
+                float(entry[5]),
+            )
+            host = int(entry[6])
+            slot_of[uid] = slot
+            vm = datacenter.vm(slot)
+            vm.mips = mips
+            vm.ram_mb = ram_mb
+            vm.bandwidth_mbps = bandwidth
+            arrays.bind_vm_slot(slot, mips, ram_mb, bandwidth)
+            runtime.live[uid] = _LiveVm(
+                uid=uid,
+                slot=slot,
+                created_step=created_step,
+                mips=mips,
+                ram_mb=ram_mb,
+                bandwidth_mbps=bandwidth,
+                trace=self._demand_trace(uid, created_step, steps),
+            )
+            if host >= 0:
+                placements.append((slot, host))
+        runtime.pool = VmSlotPool.restore(self.capacity, slot_of)
+        for slot, host in placements:
+            datacenter.place(slot, host)
+        runtime.pending = [int(uid) for uid in state["pending"]]
+
+        # In-flight transfers must be re-registered in insertion order:
+        # the engine's iteration order feeds the SLA accountant's
+        # first-seen record order.
+        for flight in state["in_flight"]:
+            runtime.engine.restore_flight(
+                vm_id=int(flight[0]),
+                source_pm_id=int(flight[1]),
+                dest_pm_id=int(flight[2]),
+                remaining_seconds=float(flight[3]),
+                total_seconds=float(flight[4]),
+                final_downtime_seconds=float(flight[5]),
+            )
+        runtime.engine.total_migrations = int(
+            state["engine"]["total_migrations"]
+        )
+        runtime.engine.total_gb_hops = float(
+            state["engine"]["total_gb_hops"]
+        )
+
+        runtime.accountant = _sla_from_dict(state["sla"])
+        collector = MetricsCollector()
+        for step_data in state["metrics"]:
+            collector.record(_step_from_dict(step_data))
+        runtime.collector = collector
+
+        monitor_state = state["monitor"]
+        monitor = UtilizationMonitor(
+            history_length=int(monitor_state["length"])
+        )
+        if monitor_state["has_rings"]:
+            monitor._vm_ring = rings["service_vm_ring"].copy()
+            monitor._host_ring = rings["service_host_ring"].copy()
+            monitor._ring_pos = int(monitor_state["pos"])
+            monitor._ring_filled = int(monitor_state["filled"])
+        monitor._steps_observed = int(monitor_state["steps_observed"])
+        runtime.monitor = monitor
+
+        energy = state["energy"]
+        runtime.cost_model.energy._total_joules = float(energy["joules"])
+        runtime.cost_model.energy._total_usd = float(energy["usd"])
+        runtime.cost_model.sla._total_usd = float(state["sla_cost_usd"])
+
+        for pm_id in state["pm_asleep"]:
+            datacenter.pm(int(pm_id)).sleep()
+
+        if event_log is not None and state.get("events"):
+            for line in state["events"]:
+                event_log._events.append(Event.from_json(line))
+
+        runtime.cursor = int(state["churn_cursor"])
+        runtime.cost_since_decide = float(state["cost_since_decide"])
+        runtime.start_step = int(state["next_step"])
+        return runtime
+
+    # ------------------------------------------------------------------
+    # Checkpoint snapshot
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, next_step: int, event_log: Optional[EventLog] = None
+    ) -> tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """The run's full restart state as ``(json_state, arrays)``."""
+        from repro.engine.serialize import _sla_to_dict, _step_to_dict
+
+        runtime = self._runtime
+        if runtime is None:
+            raise ConfigurationError("no run in progress to snapshot")
+        arrays = self.datacenter.arrays
+        monitor = runtime.monitor
+        has_rings = monitor._vm_ring is not None
+        state: Dict[str, Any] = {
+            "format": 1,
+            "spec": self.spec,
+            "next_step": next_step,
+            "total_steps": runtime.steps,
+            "decide_every": self.decide_every,
+            "scan_every": self.scan_every,
+            "workload_seed": self.workload_seed,
+            "churn_cursor": runtime.cursor,
+            "live": [
+                [
+                    record.uid,
+                    record.slot,
+                    record.created_step,
+                    record.mips,
+                    record.ram_mb,
+                    record.bandwidth_mbps,
+                    int(arrays.host_of[record.slot]),
+                ]
+                for record in runtime.live.values()
+            ],
+            "pending": list(runtime.pending),
+            "pm_asleep": [
+                int(pm_id) for pm_id in np.flatnonzero(arrays.pm_asleep)
+            ],
+            "in_flight": [
+                [
+                    flight.vm_id,
+                    flight.source_pm_id,
+                    flight.dest_pm_id,
+                    flight.remaining_seconds,
+                    flight.total_seconds,
+                    flight.final_downtime_seconds,
+                ]
+                for flight in runtime.engine._in_flight.values()
+            ],
+            "engine": {
+                "total_migrations": runtime.engine.total_migrations,
+                "total_gb_hops": runtime.engine.total_gb_hops,
+            },
+            "monitor": {
+                "length": monitor.history_length,
+                "pos": int(monitor._ring_pos),
+                "filled": int(monitor._ring_filled),
+                "steps_observed": int(monitor._steps_observed),
+                "has_rings": has_rings,
+            },
+            "sla": _sla_to_dict(runtime.accountant),
+            "metrics": [
+                _step_to_dict(step) for step in runtime.collector.steps
+            ],
+            "cost_since_decide": runtime.cost_since_decide,
+            "energy": {
+                "joules": runtime.cost_model.energy._total_joules,
+                "usd": runtime.cost_model.energy._total_usd,
+            },
+            "sla_cost_usd": runtime.cost_model.sla._total_usd,
+            "events": (
+                [event.to_json() for event in event_log]
+                if event_log is not None
+                else None
+            ),
+        }
+        ring_arrays: Dict[str, np.ndarray] = {}
+        if has_rings:
+            ring_arrays["service_vm_ring"] = monitor._vm_ring
+            ring_arrays["service_host_ring"] = monitor._host_ring
+        return state, ring_arrays
+
+    # ------------------------------------------------------------------
+    # Per-step stages
+    # ------------------------------------------------------------------
+    def _apply_churn(
+        self,
+        runtime: _Runtime,
+        step: int,
+        scheduler: Scheduler,
+        event_log: Optional[EventLog],
+    ) -> None:
+        """Stage 1: drain lifecycle events due at or before ``step``."""
+        events = self.churn.events
+        while (
+            runtime.cursor < len(events)
+            and events[runtime.cursor].step <= step
+        ):
+            event = events[runtime.cursor]
+            runtime.cursor += 1
+            if event.kind == DELETE:
+                self._apply_delete(runtime, step, event, scheduler, event_log)
+            elif event.kind == RESIZE:
+                self._apply_resize(runtime, step, event, event_log)
+            elif event.kind == CREATE:
+                self._apply_create(runtime, step, event, event_log)
+
+    def _apply_create(
+        self,
+        runtime: _Runtime,
+        step: int,
+        event: ChurnEvent,
+        event_log: Optional[EventLog],
+    ) -> None:
+        slot = runtime.pool.allocate(event.uid)
+        if slot is None:
+            if event_log is not None:
+                event_log.emit(
+                    step,
+                    EventKind.CUSTOM,
+                    reason="vm_rejected_pool_full",
+                    uid=event.uid,
+                )
+            return
+        vm = self.datacenter.vm(slot)
+        vm.mips = event.mips
+        vm.ram_mb = event.ram_mb
+        vm.bandwidth_mbps = event.bandwidth_mbps
+        self.datacenter.arrays.bind_vm_slot(
+            slot, event.mips, event.ram_mb, event.bandwidth_mbps
+        )
+        runtime.live[event.uid] = _LiveVm(
+            uid=event.uid,
+            slot=slot,
+            created_step=step,
+            mips=event.mips,
+            ram_mb=event.ram_mb,
+            bandwidth_mbps=event.bandwidth_mbps,
+            trace=self._demand_trace(event.uid, step, runtime.steps),
+        )
+        runtime.pending.append(event.uid)
+        if event_log is not None:
+            event_log.emit(
+                step,
+                EventKind.VM_CREATED,
+                uid=event.uid,
+                vm_id=slot,
+                mips=event.mips,
+                ram_mb=event.ram_mb,
+                bandwidth_mbps=event.bandwidth_mbps,
+            )
+
+    def _apply_resize(
+        self,
+        runtime: _Runtime,
+        step: int,
+        event: ChurnEvent,
+        event_log: Optional[EventLog],
+    ) -> None:
+        record = runtime.live.get(event.uid)
+        if record is None:
+            return
+        record.mips = event.mips
+        vm = self.datacenter.vm(record.slot)
+        vm.mips = event.mips
+        arrays = self.datacenter.arrays
+        arrays.vm_mips[record.slot] = event.mips
+        arrays.mark_demand_dirty()
+        arrays.mark_delivered_dirty()
+        if event_log is not None:
+            event_log.emit(
+                step,
+                EventKind.VM_RESIZED,
+                uid=event.uid,
+                vm_id=record.slot,
+                mips=event.mips,
+            )
+
+    def _apply_delete(
+        self,
+        runtime: _Runtime,
+        step: int,
+        event: ChurnEvent,
+        scheduler: Scheduler,
+        event_log: Optional[EventLog],
+    ) -> None:
+        record = runtime.live.pop(event.uid, None)
+        if record is None:
+            return
+        slot = record.slot
+        datacenter = self.datacenter
+        runtime.engine.cancel(slot)
+        if datacenter.is_placed(slot):
+            datacenter.remove(slot)
+        vm = datacenter.vm(slot)
+        vm.set_active(False)
+        vm.mips = 1.0
+        vm.ram_mb = 1.0
+        vm.bandwidth_mbps = 1.0
+        datacenter.arrays.clear_vm_slot(slot)
+        # The departed occupant's billing window must not keep charging
+        # against the (now empty, later reused) slot.
+        runtime.accountant.reset_vm_window(slot)
+        retire = getattr(scheduler, "retire_vm", None)
+        if retire is not None:
+            retire(slot)
+        runtime.pool.release(event.uid)
+        if event.uid in runtime.pending:
+            runtime.pending.remove(event.uid)
+        if event_log is not None:
+            event_log.emit(
+                step, EventKind.VM_DELETED, uid=event.uid, vm_id=slot
+            )
+
+    def _place_pending(self, runtime: _Runtime) -> None:
+        """Stage 2: first-fit queued arrivals, FIFO, host-id order."""
+        arrays = self.datacenter.arrays
+        still_pending: List[int] = []
+        for uid in runtime.pending:
+            slot = runtime.live[uid].slot
+            ram_free = arrays.pm_ram_mb - arrays.pm_ram_used_mb()
+            candidates = np.flatnonzero(
+                self.datacenter.vm(slot).ram_mb <= ram_free
+            )
+            if candidates.size == 0:
+                still_pending.append(uid)
+                continue
+            self.datacenter.place(slot, int(candidates[0]))
+        runtime.pending = still_pending
+
+    def _apply_demand(self, runtime: _Runtime, step: int) -> None:
+        """Stage 3: every live VM's demand for this interval."""
+        arrays = self.datacenter.arrays
+        for uid in runtime.pool.live_uids():
+            record = runtime.live[uid]
+            arrays.vm_demand[record.slot] = record.trace[
+                step - record.created_step
+            ]
+        arrays.mark_demand_dirty()
+
+    def _mean_active_host_utilization(self) -> float:
+        arrays = self.datacenter.arrays
+        active_ids = np.flatnonzero(arrays.active_pm_mask())
+        if active_ids.size == 0:
+            return 0.0
+        capped = np.minimum(1.0, arrays.pm_demand_utilization()[active_ids])
+        # Left-to-right total in host-id order (the batch driver's
+        # accumulation, bit for bit).
+        return float(np.cumsum(capped)[-1]) / active_ids.size
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scheduler: Scheduler,
+        num_steps: Optional[int] = None,
+        event_log: Optional[EventLog] = None,
+        validate_every_step: Optional[bool] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        stop_after_step: Optional[int] = None,
+    ) -> Optional[SimulationResult]:
+        """Run (or resume) the service for ``num_steps`` intervals.
+
+        ``checkpoint_every``/``checkpoint_path`` write a restartable
+        checkpoint every N completed steps; ``stop_after_step=k``
+        finishes step *k*, writes a final checkpoint and returns
+        ``None`` (the interrupted-run half of the bit-identity
+        contract).  Checkpointing requires a learner-bearing scheduler
+        (one exposing ``lstd``, i.e. :class:`MeghScheduler`).
+
+        A resumed run (armed by
+        :func:`repro.core.checkpoint.load_service`) continues from the
+        stored step; pass the same horizon (or none) and, to keep
+        accumulating the event log, a fresh ``event_log`` — the stored
+        lines are replayed into it first.
+        """
+        if validate_every_step is None:
+            from repro.core.contracts import contracts_enabled
+
+            validate_every_step = contracts_enabled()
+        wants_checkpoints = (
+            checkpoint_every is not None or stop_after_step is not None
+        )
+        if wants_checkpoints:
+            if checkpoint_path is None:
+                raise ConfigurationError(
+                    "checkpoint_every/stop_after_step require "
+                    "checkpoint_path"
+                )
+            if not hasattr(scheduler, "lstd"):
+                raise ConfigurationError(
+                    "checkpointing requires a learner-bearing scheduler"
+                )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
+
+        resume_state = self._resume_state
+        resume_rings = self._resume_rings
+        self._resume_state = None
+        self._resume_rings = {}
+
+        if resume_state is not None:
+            steps = (
+                int(resume_state["total_steps"])
+                if num_steps is None
+                else num_steps
+            )
+        else:
+            steps = (
+                self.config.num_steps if num_steps is None else num_steps
+            )
+        if steps > self.churn.num_steps:
+            raise ConfigurationError(
+                f"requested {steps} steps but the churn schedule covers "
+                f"only {self.churn.num_steps}"
+            )
+
+        dc_config = self.config.datacenter
+        interval = self.config.interval_seconds
+        self.datacenter.migration_overhead_fraction = (
+            dc_config.migration_overhead_fraction
+        )
+        bandwidth_threshold = self._bandwidth_threshold()
+
+        self.reset()
+        if resume_state is not None:
+            runtime = self._restored_runtime(
+                resume_state, resume_rings, steps, event_log
+            )
+        else:
+            runtime = self._fresh_runtime(steps)
+        self._runtime = runtime
+
+        for step in range(runtime.start_step, steps):
+            self._apply_churn(runtime, step, scheduler, event_log)
+            self._place_pending(runtime)
+            self._apply_demand(runtime, step)
+            if step % self.scan_every == 0:
+                runtime.monitor.observe(self.datacenter)
+            if step % self.decide_every == 0:
+                observation = Observation(
+                    step=step,
+                    state=observe_state(self.datacenter, step),
+                    datacenter=self.datacenter,
+                    monitor=runtime.monitor,
+                    last_step_cost_usd=runtime.cost_since_decide,
+                    interval_seconds=interval,
+                )
+                migrations = scheduler.decide(observation)
+                if migrations is None:
+                    raise SchedulerError(
+                        f"{scheduler.name} returned None instead of a list"
+                    )
+                runtime.cost_since_decide = 0.0
+                outcome = runtime.engine.start(migrations)
+            else:
+                outcome = _EMPTY_OUTCOME
+            self.datacenter.share_cpu()
+            advance = runtime.engine.advance(interval)
+            runtime.accountant.observe_step(
+                self.datacenter, interval, advance.downtime_seconds
+            )
+            step_cost = runtime.cost_model.step_cost(
+                self.datacenter, runtime.accountant, interval
+            )
+            active_hosts = self.datacenter.num_active_hosts()
+            slept = (
+                self.datacenter.sleep_idle_hosts()
+                if dc_config.sleep_idle_hosts
+                else []
+            )
+            overloaded_ids = self.datacenter.overloaded_pm_ids(
+                dc_config.overload_threshold, bandwidth_threshold
+            )
+            if event_log is not None:
+                Simulation._emit_events(
+                    event_log, step, outcome, advance, overloaded_ids, slept
+                )
+            if validate_every_step:
+                from repro.cloudsim.validation import check_invariants
+
+                check_invariants(self.datacenter)
+            runtime.collector.record(
+                StepMetrics(
+                    step=step,
+                    energy_cost_usd=step_cost.energy_usd,
+                    sla_cost_usd=step_cost.sla_usd,
+                    num_migrations_started=len(outcome.started),
+                    num_migrations_rejected=len(outcome.rejected),
+                    num_active_hosts=active_hosts,
+                    # Wall-clock-free by design: service results must be
+                    # byte-comparable across runs and resumes.
+                    scheduler_seconds=0.0,
+                    mean_host_utilization=(
+                        self._mean_active_host_utilization()
+                    ),
+                    num_overloaded_hosts=len(overloaded_ids),
+                )
+            )
+            runtime.cost_since_decide += step_cost.total_usd
+
+            at_boundary = (
+                checkpoint_every is not None
+                and (step + 1) % checkpoint_every == 0
+            )
+            stopping = stop_after_step is not None and step >= stop_after_step
+            if (at_boundary and step + 1 < steps) or stopping:
+                self._write_checkpoint(
+                    checkpoint_path, scheduler, step + 1, event_log
+                )
+            if stopping:
+                return None
+
+        return SimulationResult(
+            scheduler_name=scheduler.name,
+            metrics=runtime.collector,
+            sla=runtime.accountant,
+            config=self.config,
+            num_pms=self.datacenter.num_pms,
+            num_vms=self.datacenter.num_vms,
+        )
+
+    def _write_checkpoint(
+        self,
+        path: Optional[str],
+        scheduler: Scheduler,
+        next_step: int,
+        event_log: Optional[EventLog],
+    ) -> None:
+        from repro.core.checkpoint import save_service
+
+        assert path is not None  # guarded at run() entry
+        state, rings = self.snapshot(next_step, event_log)
+        save_service(scheduler, path, state, rings)
+
+    # ------------------------------------------------------------------
+    # Introspection (post-run, for the CLI and tests)
+    # ------------------------------------------------------------------
+    @property
+    def num_live_vms(self) -> int:
+        if self._runtime is None:
+            return 0
+        return self._runtime.pool.num_live
+
+    @property
+    def churn_events_applied(self) -> int:
+        if self._runtime is None:
+            return 0
+        return self._runtime.cursor

@@ -38,10 +38,21 @@ def _sim_document(scale=1.0, identical=True):
     }
 
 
+def _service_document(scale=1.0):
+    return {
+        "service_churn": {
+            "steps_per_s": 900.0 * scale,
+            "events_per_s": 2500.0 * scale,
+            "retirements_per_s": 700.0 * scale,
+        }
+    }
+
+
 def _documents(scale=1.0, identical=True):
     return {
         "core": _core_document(scale),
         "sim": _sim_document(scale, identical=identical),
+        "service": _service_document(scale),
     }
 
 
@@ -99,8 +110,10 @@ def _write_documents(tmp_path, scale=1.0, identical=True):
     for key, document in (
         ("committed_core", _core_document()),
         ("committed_sim", _sim_document()),
+        ("committed_service", _service_document()),
         ("fresh_core", _core_document(scale)),
         ("fresh_sim", _sim_document(scale, identical=identical)),
+        ("fresh_service", _service_document(scale)),
     ):
         target = tmp_path / f"{key}.json"
         target.write_text(json.dumps(document))
@@ -115,10 +128,14 @@ def _argv(paths, *extra):
         paths["committed_core"],
         "--committed-sim",
         paths["committed_sim"],
+        "--committed-service",
+        paths["committed_service"],
         "--fresh-core",
         paths["fresh_core"],
         "--fresh-sim",
         paths["fresh_sim"],
+        "--fresh-service",
+        paths["fresh_service"],
         *extra,
     ]
 

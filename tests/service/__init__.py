@@ -1,0 +1,1 @@
+"""Tests for the churn-driven service loop (``repro.service``)."""
