@@ -9,6 +9,12 @@ stream over a 256-action pool at the paper's d = 1052 x 800 = 841,600):
   (served from the dirty-row cache) — the ISSUE's >= 5x criterion;
 * batched ``q_values`` throughput and a full ``theta()`` scan.
 
+The update loop is also broken down by phase via the deferred kernel's
+profiling counters (``SparseMatrix.kernel_stats``): staging (enqueue)
+vs grouped replay (flush) vs the rest of the learning step.  Run with
+``REPRO_KERNEL=off`` (or ``numpy``) to compare backends; the recorded
+``kernel`` field says which one produced the committed numbers.
+
 Results merge into the ``"lstd"`` section of ``BENCH_core.json``::
 
     PYTHONPATH=src python benchmarks/bench_core_lstd.py          # paper scale
@@ -69,10 +75,43 @@ def measure_lstd(
         lstd.update(a, a_next, cost)
 
     timed_stream = _draw_stream(rng, pool, timed_updates)
+    stats_before = lstd.B.kernel_stats()
     started = time.perf_counter()
     for a, a_next, cost in timed_stream:
         lstd.update(a, a_next, cost)
     update_seconds = time.perf_counter() - started
+    stats_after = lstd.B.kernel_stats()
+
+    # Per-phase breakdown of the timed update loop: staging (enqueue)
+    # vs replay (flush) vs everything else (row combine, denominator,
+    # theta invalidation).  Counter deltas cover exactly the timed
+    # window; all zeros when the deferred kernel is off.
+    enqueue_seconds = float(
+        stats_after["enqueue_seconds"] - stats_before["enqueue_seconds"]
+    )
+    flush_seconds = float(
+        stats_after["flush_seconds"] - stats_before["flush_seconds"]
+    )
+    phase_breakdown = {
+        "kernel": stats_after["kernel"],
+        "window": stats_after["window"],
+        "enqueue_seconds": enqueue_seconds,
+        "flush_seconds": flush_seconds,
+        "other_seconds": update_seconds - enqueue_seconds - flush_seconds,
+        "enqueued": int(stats_after["enqueued"] - stats_before["enqueued"]),
+        "row_flushes": int(
+            stats_after["row_flushes"] - stats_before["row_flushes"]
+        ),
+        "full_flushes": int(
+            stats_after["full_flushes"] - stats_before["full_flushes"]
+        ),
+        "updates_applied_at_replay": int(
+            stats_after["applied"] - stats_before["applied"]
+        ),
+        "updates_skipped_at_replay": int(
+            stats_after["skipped"] - stats_before["skipped"]
+        ),
+    }
 
     indices = pool.tolist()
 
@@ -124,6 +163,8 @@ def measure_lstd(
         "theta_nonzero_entries": int(np.count_nonzero(theta)),
         "q_table_nonzeros": lstd.q_table_nonzeros,
         "mean_pool_row_nnz": float(np.mean(row_nnz)),
+        "kernel": lstd.B.kernel_name,
+        "phase_breakdown": phase_breakdown,
     }
 
 

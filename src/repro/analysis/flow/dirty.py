@@ -22,6 +22,13 @@ precisely how "mutates on one branch, marks on the other" bugs surface.
 Marks are recognized by declaration (the table) plus a closure over the
 declaring class's own methods: a helper method whose body transitively
 calls ``mark_demand_dirty`` counts as marking ``_demand_dirty``.
+Counter bumps close the same way, but stricter: ``self.helper()`` only
+discharges a counter obligation when the helper *provably always*
+bumps — its top-level statements reach a direct ``self.<counter> += 1``
+(or a call to another such helper) with no ``return``/``raise``
+anywhere before it (``PendingUpdates.flush_all`` retires the staged
+window through ``_reset``, which owns the bump; ``flush_all`` itself
+has an early return and so never joins the closure).
 """
 
 from __future__ import annotations
@@ -180,6 +187,83 @@ def _mark_closure(
     return closure
 
 
+def _is_counter_bump(statement: ast.stmt, counter: str) -> bool:
+    """``self.<counter> += ...`` as a standalone statement."""
+    if not isinstance(statement, ast.AugAssign):
+        return False
+    target = statement.target
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        and target.attr == counter
+    )
+
+
+def _is_self_call_into(statement: ast.stmt, names: Set[str]) -> bool:
+    """``self.<helper>()`` where ``helper`` is already in ``names``."""
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Call)
+        and isinstance(statement.value.func, ast.Attribute)
+        and isinstance(statement.value.func.value, ast.Name)
+        and statement.value.func.value.id == "self"
+        and statement.value.func.attr in names
+    )
+
+
+def _counter_closure(
+    project: Project, invariant: MutationInvariant
+) -> FrozenSet[str]:
+    """Methods of the declaring class that *unconditionally* bump the
+    counter, so calling one discharges a counter obligation.
+
+    Membership is deliberately stricter than the mark closure: the
+    method's top-level statement walk must reach a direct bump (or a
+    call to an already-admitted helper) before any statement that can
+    leave the function — a compound statement containing ``return`` or
+    ``raise`` disqualifies, because the bump after it is conditional
+    from the caller's point of view.  Top-level ``if``/``for`` blocks
+    without an escape fall through and are skipped, which admits the
+    common "branch to build arguments, then bump" shape.
+    """
+    if invariant.counter is None:
+        return frozenset()
+    info = None
+    for class_info in project.classes.values():
+        if class_info.name == invariant.class_name:
+            info = class_info
+            break
+    if info is None:
+        return frozenset()
+
+    def qualifies(body: Sequence[ast.stmt], admitted: Set[str]) -> bool:
+        for statement in body:
+            if _is_counter_bump(statement, invariant.counter or ""):
+                return True
+            if _is_self_call_into(statement, admitted):
+                return True
+            if any(
+                isinstance(node, (ast.Return, ast.Raise))
+                for node in ast.walk(statement)
+            ):
+                return False
+        return False
+
+    admitted: Set[str] = set()
+    for _ in range(len(info.methods) + 1):
+        changed = False
+        for name, method in info.methods.items():
+            if name in admitted or name in _EXEMPT_EVERYWHERE:
+                continue
+            if qualifies(method.body(), admitted):
+                admitted.add(name)
+                changed = True
+        if not changed:
+            break
+    return frozenset(admitted)
+
+
 class _FunctionChecker:
     """Path-sensitive obligation walk over one function body."""
 
@@ -189,10 +273,12 @@ class _FunctionChecker:
         function: FunctionInfo,
         invariants: Sequence[MutationInvariant],
         closures: Dict[str, Dict[str, FrozenSet[str]]],
+        counter_closures: Dict[str, FrozenSet[str]],
     ) -> None:
         self.project = project
         self.function = function
         self.closures = closures
+        self.counter_closures = counter_closures
         self.findings: List[Diagnostic] = []
         self._reported: Set[Tuple[int, str]] = set()
         self.invariants = [
@@ -275,6 +361,10 @@ class _FunctionChecker:
                         flags = closure.get(attribute.attr)
                         if flags:
                             marks.append((invariant, receiver, flags))
+                        if attribute.attr in self.counter_closures.get(
+                            invariant.class_name, frozenset()
+                        ):
+                            counters.append((invariant, receiver))
                 # recv.field.fill(...) — mutating container method.
                 if attribute.attr in _MUTATING_METHODS:
                     found = self._field_target(attribute.value)
@@ -523,10 +613,15 @@ def check_dirty_flags(project: Project) -> List[Diagnostic]:
         invariant.class_name: _mark_closure(project, invariant)
         for invariant in MUTATION_INVARIANTS
     }
+    counter_closures = {
+        invariant.class_name: _counter_closure(project, invariant)
+        for invariant in MUTATION_INVARIANTS
+    }
     diagnostics: List[Diagnostic] = []
     for function in project.iter_functions():
         checker = _FunctionChecker(
-            project, function, MUTATION_INVARIANTS, closures
+            project, function, MUTATION_INVARIANTS, closures,
+            counter_closures,
         )
         diagnostics.extend(checker.check())
     return diagnostics

@@ -130,10 +130,43 @@ _REWARD_VECTOR = MutationInvariant(
     scope="class",
 )
 
+#: ``PendingUpdates``: the deferred-kernel staging engine
+#: (``repro/core/kern.py``).  Every change to the staged-update log or
+#: the dirty-row tracking — enqueue, per-row flush, window retirement —
+#: must bump its ``mutations`` counter so anything derived from a
+#: staging snapshot can detect out-of-band changes, mirroring the
+#: ``SparseMatrix.mutations`` discipline the replay writes through to.
+#: The reusable marshaling buffers (``_one_row``,
+#: ``_two_rows``, ...) and the profiling counters carry no obligation:
+#: they are scratch, not staging state.  ``flush_all`` discharges
+#: through ``_reset``/``_replay_batch`` — the rule's counter closure
+#: admits helpers that unconditionally bump.
+_PENDING_UPDATES = MutationInvariant(
+    class_name="PendingUpdates",
+    fields={
+        "_n": frozenset({"mutations"}),
+        "_pivots": frozenset({"mutations"}),
+        "_scales": frozenset({"mutations"}),
+        "_upd_offsets": frozenset({"mutations"}),
+        "_cols_flat": frozenset({"mutations"}),
+        "_vals_flat": frozenset({"mutations"}),
+        "_pend_rows": frozenset({"mutations"}),
+        "_pend_rows_n": frozenset({"mutations"}),
+        "_dirty": frozenset({"mutations"}),
+        "_dirty_count": frozenset({"mutations"}),
+        "_row_start": frozenset({"mutations"}),
+    },
+    marks={},
+    flag_attrs=frozenset(),
+    counter="mutations",
+    scope="class",
+)
+
 MUTATION_INVARIANTS: Tuple[MutationInvariant, ...] = (
     _DATACENTER_ARRAYS,
     _SPARSE_MATRIX,
     _REWARD_VECTOR,
+    _PENDING_UPDATES,
 )
 
 

@@ -56,6 +56,10 @@ def _set_rng_state(rng: np.random.Generator, state_json: str) -> None:
 
 def _agent_payload(agent: MeghScheduler) -> Dict[str, np.ndarray]:
     """The agent's full state as NPZ-ready arrays (version 2 layout)."""
+    # Force a full flush of any staged rank-1 updates so the serialized
+    # COO triplets are the settled matrix and the checkpoint format (and
+    # its byte-equality contract) is independent of REPRO_KERNEL.
+    agent.lstd.B.flush_pending()
     rows, cols, values = [], [], []
     for i, j, value in agent.lstd.B.items():
         rows.append(i)

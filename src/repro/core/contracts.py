@@ -187,6 +187,13 @@ class ShermanMorrisonAuditor:
     # ------------------------------------------------------------------
     def _dense_inverse(self) -> np.ndarray:
         matrix = self.lstd.B
+        # Settle any rank-1 updates the deferred kernel still has staged
+        # before cross-checking densely — the audit must see the same
+        # matrix a reader would (to_dense flushes too; this makes the
+        # contract explicit rather than incidental).
+        flush = getattr(matrix, "flush_pending", None)
+        if flush is not None:
+            flush()
         to_dense = getattr(matrix, "to_dense", None)
         if to_dense is not None:
             return to_dense()

@@ -50,6 +50,15 @@ from repro.errors import ConfigurationError
 DENOMINATOR_FLOOR = 1e-10
 
 
+def _row_entry(idx: np.ndarray, val: np.ndarray, j: int) -> float:
+    """Entry at column ``j`` of a sorted sparse row view; 0 when absent."""
+    n = idx.shape[0]
+    position = int(np.searchsorted(idx, j))
+    if position < n and idx[position] == j:
+        return float(val[position])
+    return 0.0
+
+
 class RewardVector(MutableMapping):
     """The sparse reward-weighted feature sum ``z`` with a dense mirror.
 
@@ -125,6 +134,8 @@ class SparseLstd:
             raise ConfigurationError("delta must be > 0")
         self._theta_cache = np.zeros(dimension, dtype=np.float64)
         self._theta_fresh = np.zeros(dimension, dtype=bool)
+        # Reusable row-pair buffer for the per-update grouped flush.
+        self._row_pair = np.empty(2, dtype=np.int64)
         self.theta_cache_hits = 0
         self.theta_cache_misses = 0
         self._b_mutations_seen = -1
@@ -151,6 +162,11 @@ class SparseLstd:
     @B.setter
     def B(self, matrix: SparseMatrix) -> None:
         self._B = matrix
+        # Duck-typed backend fast path: only the compiled kernel offers
+        # the fused row combine (None for numpy / deferral-off).
+        self._combine_rows = getattr(
+            matrix.kernel_backend, "combine_rows", None
+        )
         self.invalidate_theta_cache()
         self._b_mutations_seen = matrix.mutations
 
@@ -212,26 +228,69 @@ class SparseLstd:
         a, a_next = action_index, next_action_index
         self._sync_with_b()
 
-        bu = self._B.column(a)
-
         # v^T B as sorted arrays: union of the two row supports, then a
-        # vectorized row_a - gamma * row_next merge.
-        idx_a, val_a = self._B.row_view(a)
-        idx_next, val_next = self._B.row_view(a_next)
-        columns = np.union1d(idx_a, idx_next)
-        values = np.zeros(columns.shape[0], dtype=np.float64)
-        values[np.searchsorted(columns, idx_a)] = val_a
-        values[np.searchsorted(columns, idx_next)] -= self.gamma * val_next
+        # vectorized row_a - gamma * row_next merge.  With the deferred
+        # kernel on, rows a / a' are settled in ONE grouped kernel call
+        # (the row views below then see clean rows and flush nothing).
+        self._row_pair[0] = a
+        self._row_pair[1] = a_next
+        self._B.flush_rows(self._row_pair)
+        combine = self._combine_rows
+        raw_a = raw_next = None
+        if combine is not None:
+            raw_a = self._B._row_raw(a)
+            raw_next = self._B._row_raw(a_next)
+        if raw_a is not None and raw_next is not None:
+            # Compiled fast path: one C call performs the sorted-union
+            # merge, the ``row_a - gamma * row_next`` combine, the exact
+            # zero filter, and both denominator entry lookups —
+            # bit-identical to the NumPy construction below (see the C
+            # comment in kern.py).
+            columns, values, entry_a, entry_next = combine(
+                raw_a, raw_next, self.gamma, a
+            )
+            normalized = True
+        else:
+            idx_a, val_a = self._B.row_view(a)
+            idx_next, val_next = self._B.row_view(a_next)
+            # Sorted-unique union of the two supports: both inputs are
+            # sorted, so a stable sort of the concatenation plus an
+            # adjacent-equality mask produces exactly np.union1d's output
+            # without its hashing overhead (once per learning step).
+            merged = np.concatenate((idx_a, idx_next))
+            if merged.shape[0] > 1:
+                merged.sort(kind="stable")
+                keep = np.empty(merged.shape[0], dtype=bool)
+                keep[0] = True
+                np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+                columns = merged[keep]
+            else:
+                columns = merged
+            values = np.zeros(columns.shape[0], dtype=np.float64)
+            values[np.searchsorted(columns, idx_a)] = val_a
+            values[np.searchsorted(columns, idx_next)] -= self.gamma * val_next
+            entry_a = _row_entry(idx_a, val_a, a)
+            entry_next = _row_entry(idx_next, val_next, a)
+            normalized = False
 
-        # denominator = 1 + v^T B u = 1 + (B[a,a] - gamma B[a',a])
-        denominator = 1.0 + (
-            self._B.get(a, a) - self.gamma * self._B.get(a_next, a)
-        )
+        # denominator = 1 + v^T B u = 1 + (B[a,a] - gamma B[a',a]).
+        # Both entries come straight from the already-settled rows — no
+        # extra flush checks on the hot path.
+        denominator = 1.0 + (entry_a - self.gamma * entry_next)
         if abs(denominator) < DENOMINATOR_FLOOR:
             self.updates_skipped += 1
+            dirty = self._B.column_support(a)
         else:
-            self._B.rank_one_update_arrays(
-                bu, columns, values, scale=-1.0 / denominator
+            # The left factor B u is column a of B itself; the deferred
+            # path never builds it — each touched row reads its own
+            # weight B[i, a] at flush time (see kern.py).  The returned
+            # rows are the pre-update support of column a (a superset
+            # when epsilon prunes are staged — conservative, never
+            # wrong).
+            dirty = self._B.rank_one_update_from_column(
+                a, columns, values,
+                scale=-1.0 / denominator,
+                assume_normalized=normalized,
             )
             self.updates_applied += 1
             if self._t_rows is not None:
@@ -241,10 +300,8 @@ class SparseLstd:
         # Dirty rows: support of column a of the *pre-update* B.  This
         # covers both the rank-1 row rewrites and the z[a] change (and
         # degenerates to just the z effect when the update is skipped).
-        if bu:
-            self._theta_fresh[
-                np.fromiter(bu.keys(), dtype=np.int64, count=len(bu))
-            ] = False
+        if dirty.shape[0]:
+            self._theta_fresh[dirty] = False
         self._z._accumulate(a, cost)
         self._b_mutations_seen = self._B.mutations
 
@@ -375,6 +432,10 @@ class SparseLstd:
         if not retired:
             return 0
         self._sync_with_b()
+        # Retirement's generic rank-1 corrections read whole columns and
+        # scatter through dict left factors; settle every staged update
+        # first so the slot's rows are exact before they are undone.
+        self._B.flush_pending()
 
         # (1) row clears.
         for i in retired:
@@ -487,6 +548,10 @@ class SparseLstd:
             )
         self._sync_with_b()
         stale = np.unique(index_array[~self._theta_fresh[index_array]])
+        if stale.shape[0]:
+            # One grouped kernel call instead of a per-row flush inside
+            # each dot product (flush order never changes values).
+            self._B.flush_rows(stale)
         dense_z = self._z.dense
         for i in stale.tolist():
             self._theta_cache[i] = self._B.row_dot_dense(i, dense_z)

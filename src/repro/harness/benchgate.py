@@ -42,10 +42,15 @@ __all__ = ["METRIC_FLOORS", "check_benchmarks", "run"]
 
 #: (committed file key, dotted metric path, minimum fresh/committed
 #: ratio).  Floors are calibrated against fast-mode runs on the
-#: reference container; see the module docstring.
+#: reference container; see the module docstring.  The committed
+#: ``rank_one_update_ops_per_s`` is a compiled-kernel number
+#: (fast-mode fresh/committed ratio ~1.05 with the C backend); on a
+#: machine with no C compiler the NumPy backend runs fast mode at a
+#: ratio of ~0.08 — use ``--band`` there rather than loosening the
+#: floor for everyone.
 METRIC_FLOORS: Tuple[Tuple[str, str, float], ...] = (
-    ("core", "lstd.rank_one_update_ops_per_s", 0.30),
-    ("core", "lstd.q_value_cold_ops_per_s", 0.20),
+    ("core", "lstd.rank_one_update_ops_per_s", 0.25),
+    ("core", "lstd.q_value_cold_ops_per_s", 0.15),
     ("core", "lstd.q_value_warm_ops_per_s", 0.15),
     ("core", "lstd.q_values_batched_ops_per_s", 0.01),
     ("core", "lstd.warm_over_cold_speedup", 0.20),

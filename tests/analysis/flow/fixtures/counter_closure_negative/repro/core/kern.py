@@ -1,0 +1,37 @@
+"""Repaired twin: every staging mutation reaches a guaranteed bump.
+
+``retire`` discharges through ``_reset`` (a helper whose top-level walk
+always reaches ``self.mutations += 1``), ``grow`` bumps directly after
+a fall-through branch, and ``settle`` layers two helpers — the closure
+must admit ``_retire_and_log`` transitively through ``_reset``.
+"""
+
+
+class PendingUpdates:
+    def __init__(self):
+        self.mutations = 0
+        self._n = 0
+        self._pend_rows_n = 0
+        self._dirty_count = 0
+
+    def _reset(self):
+        self._n = 0
+        self._pend_rows_n = 0
+        self.mutations += 1
+
+    def _retire_and_log(self):
+        self._dirty_count = 0
+        self._reset()
+
+    def retire(self):
+        self._dirty_count = 0
+        self._reset()
+
+    def grow(self, count):
+        if count > self._pend_rows_n:
+            self._pend_rows_n = count
+        self.mutations += 1
+
+    def settle(self):
+        self._n = 0
+        self._retire_and_log()

@@ -1,0 +1,33 @@
+"""Seeded-in defect: counter discharge through a *conditional* helper.
+
+``shrink`` mutates staging state and delegates the bump to a helper
+that can return before bumping — the counter closure must refuse to
+admit ``_maybe_bump``, so the obligation survives to function exit.
+``retire`` is the sound twin: ``_reset`` always bumps.
+"""
+
+
+class PendingUpdates:
+    def __init__(self):
+        self.mutations = 0
+        self._n = 0
+        self._pend_rows_n = 0
+        self._dirty_count = 0
+
+    def _reset(self):
+        self._n = 0
+        self._pend_rows_n = 0
+        self.mutations += 1
+
+    def _maybe_bump(self):
+        if self._n:
+            return
+        self.mutations += 1
+
+    def retire(self):
+        self._dirty_count = 0
+        self._reset()
+
+    def shrink(self):
+        self._pend_rows_n = 0
+        self._maybe_bump()

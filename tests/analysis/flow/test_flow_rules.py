@@ -56,6 +56,26 @@ class TestDirtyFlags:
         assert _findings("dirty_branch_negative", "MEGH011") == []
 
 
+class TestCounterClosure:
+    """Counter obligations discharged through helper methods.
+
+    ``PendingUpdates`` (repro/core/kern.py) retires its staged window
+    via ``_reset``, which owns the ``mutations`` bump — the closure
+    must admit helpers that *always* bump and refuse ones that can
+    return first.
+    """
+
+    def test_conditional_helper_does_not_discharge(self):
+        findings = _findings("counter_closure_positive", "MEGH011")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "_pend_rows_n" in finding.message
+        assert "bump self.mutations" in finding.message
+
+    def test_unconditional_helpers_discharge_transitively(self):
+        assert _findings("counter_closure_negative", "MEGH011") == []
+
+
 class TestDtypeDiscipline:
     def test_bad_dtype_axis_mix_and_python_sum_are_reported(self):
         findings = _findings("dtype_positive", "MEGH012")
