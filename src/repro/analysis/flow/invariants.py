@@ -208,11 +208,13 @@ FIELD_TYPES: Dict[str, ArrayType] = {
     "_pm_demand_mips": ArrayType("float64", "M"),
     "_pm_bw_mbps": ArrayType("float64", "M"),
     "_pm_delivered_mips": ArrayType("float64", "M"),
+    "_pm_ram_free": ArrayType("float64", "M"),
 }
 
 #: Method name -> declared return type (DatacenterArrays queries).
 METHOD_TYPES: Dict[str, ArrayType] = {
     "pm_ram_used_mb": ArrayType("float64", "M"),
+    "pm_ram_free_mb": ArrayType("float64", "M"),
     "pm_demand_mips": ArrayType("float64", "M"),
     "pm_bw_demand_mbps": ArrayType("float64", "M"),
     "pm_delivered_mips": ArrayType("float64", "M"),

@@ -661,11 +661,22 @@ _ITERATION_WRAPPERS = {"enumerate", "sorted", "list", "tuple", "reversed"}
 _DICT_VIEW_METHODS = {"values", "keys", "items"}
 
 
-def _is_cloudsim_path(path: str) -> bool:
+#: Agent-side modules on the decide() hot path, covered since the
+#: candidate pipeline went array-native (the scalar generator retained
+#: in agent.py as the differential oracle carries reasoned suppressions).
+_AGENT_HOT_PATHS = (
+    "repro/core/agent.py",
+    "repro/core/candidates.py",
+)
+
+
+def _is_fleet_loop_path(path: str) -> bool:
     normalized = path.replace("\\", "/")
     if normalized.endswith("repro/cloudsim/reference.py"):
         return False  # the retained pre-rewrite oracle is loops on purpose
-    return "repro/cloudsim/" in normalized
+    if "repro/cloudsim/" in normalized:
+        return True
+    return any(normalized.endswith(hot) for hot in _AGENT_HOT_PATHS)
 
 
 def _fleet_attribute(node: ast.AST) -> Optional[str]:
@@ -703,9 +714,10 @@ class PerEntityFleetLoopRule(Rule):
     rule_id = "MEGH009"
     severity = Severity.ERROR
     summary = (
-        "per-entity vm/pm loops in repro/cloudsim are O(N) Python per "
-        "step; express fleet-wide work as DatacenterArrays vector "
-        "operations (cold paths: suppress with a reason)"
+        "per-entity vm/pm loops in repro/cloudsim and the agent's "
+        "decide() hot path are O(N) Python per step; express fleet-wide "
+        "work as DatacenterArrays vector operations (cold paths: "
+        "suppress with a reason)"
     )
 
     _MESSAGE = (
@@ -717,7 +729,7 @@ class PerEntityFleetLoopRule(Rule):
     )
 
     def check(self, context: RuleContext) -> Iterator[Diagnostic]:
-        if not _is_cloudsim_path(context.path):
+        if not _is_fleet_loop_path(context.path):
             return
         for node in ast.walk(context.tree):
             iterators: List[ast.AST] = []

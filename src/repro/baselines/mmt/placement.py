@@ -8,7 +8,9 @@ threshold.  This is the placement stage shared by every MMT variant.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.cloudsim.datacenter import Datacenter
 
@@ -53,7 +55,68 @@ def power_aware_best_fit(
     utilization at or below ``threshold``, accounting for VMs placed
     earlier in the same plan.
     """
-    excluded: Set[int] = set(excluded_hosts)
+    arrays = getattr(datacenter, "arrays", None)
+    if arrays is None:
+        # Reference object-model backend (no struct-of-arrays store):
+        # keep the historical per-PM scan.
+        return _power_aware_best_fit_scalar(
+            datacenter, vm_ids, threshold, excluded_hosts
+        )
+    plan: Dict[int, int] = {}
+    num_pms = arrays.num_pms
+    # Planning never mutates placement, so the per-PM vectors are loop
+    # invariants; only the pending-commitment vectors evolve.  The float
+    # arithmetic mirrors the historical per-PM scan operand for operand
+    # (``(demand + pending) + vm_demand``, ``free − pending``), so the
+    # planned map is bit-identical to the scalar version's.
+    ram_free = arrays.pm_ram_free_mb()
+    pm_demand = arrays.pm_demand_mips()
+    budget = threshold * arrays.pm_mips
+    blocked = np.zeros(num_pms, dtype=bool)
+    for pm_id in excluded_hosts:
+        blocked[pm_id] = True
+    pending_mips = np.zeros(num_pms, dtype=np.float64)
+    pending_ram = np.zeros(num_pms, dtype=np.float64)
+    ordered = sorted(
+        vm_ids, key=lambda vm_id: -datacenter.vm(vm_id).demanded_mips
+    )
+    for vm_id in ordered:
+        vm = datacenter.vm(vm_id)
+        source = datacenter.host_of(vm_id)
+        feasible = (
+            ~blocked
+            & (vm.ram_mb <= ram_free - pending_ram)
+            & ((pm_demand + pending_mips) + vm.demanded_mips <= budget)
+        )
+        if source is not None:
+            feasible[source] = False
+        best_pm: Optional[int] = None
+        best_increase = float("inf")
+        # The power model stays scalar: only the (few) feasible hosts
+        # reach it, in ascending id order with a strict `<` so the first
+        # minimiser wins — exactly the historical scan.
+        for pm_id in np.flatnonzero(feasible).tolist():
+            increase = power_increase(
+                datacenter, pm_id, vm.demanded_mips, float(pending_mips[pm_id])
+            )
+            if increase < best_increase:
+                best_increase = increase
+                best_pm = pm_id
+        if best_pm is not None:
+            plan[vm_id] = best_pm
+            pending_mips[best_pm] += vm.demanded_mips
+            pending_ram[best_pm] += vm.ram_mb
+    return plan
+
+
+def _power_aware_best_fit_scalar(
+    datacenter,
+    vm_ids: Iterable[int],
+    threshold: float,
+    excluded_hosts: Sequence[int] = (),
+) -> Dict[int, int]:
+    """Per-PM PABFD scan for backends without ``DatacenterArrays``."""
+    excluded = set(excluded_hosts)
     plan: Dict[int, int] = {}
     pending_mips: Dict[int, float] = {}
     pending_ram: Dict[int, float] = {}
@@ -97,8 +160,17 @@ def power_aware_best_fit(
 
 
 def hosts_by_utilization(datacenter: Datacenter) -> List[int]:
-    """Active hosts ordered by demanded utilization, least loaded first."""
-    return sorted(
-        datacenter.active_pm_ids(),
-        key=lambda pm_id: datacenter.demanded_utilization(pm_id),
-    )
+    """Active hosts ordered by demanded utilization, least loaded first.
+
+    One masked stable argsort — ties keep ascending host-id order, the
+    same as the historical stable ``sorted`` over ``active_pm_ids()``.
+    """
+    arrays = getattr(datacenter, "arrays", None)
+    if arrays is None:
+        return sorted(
+            datacenter.active_pm_ids(),
+            key=lambda pm_id: datacenter.demanded_utilization(pm_id),
+        )
+    active = np.flatnonzero(arrays.active_pm_mask())
+    util = arrays.pm_demand_utilization()
+    return active[np.argsort(util[active], kind="stable")].tolist()

@@ -137,8 +137,16 @@ class Datacenter:
         return float(self.arrays.pm_ram_used_mb()[pm_id])
 
     def ram_free_mb(self, pm_id: int) -> float:
-        """RAM still available on the host."""
-        return self.pm(pm_id).ram_mb - self.ram_used_mb(pm_id)
+        """RAM still available on the host.
+
+        Reads the cached :meth:`DatacenterArrays.pm_ram_free_mb` vector
+        — element-for-element the same IEEE subtraction as the previous
+        per-call ``pm.ram_mb - ram_used_mb(pm_id)``, but computed once
+        per RAM-aggregate rebuild instead of once per query.
+        """
+        if not 0 <= pm_id < len(self._pms):
+            raise KeyError(pm_id)
+        return float(self.arrays.pm_ram_free_mb()[pm_id])
 
     def demanded_mips(self, pm_id: int) -> float:
         """Aggregate MIPS demanded by workloads on the host this step."""

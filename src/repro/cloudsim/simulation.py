@@ -406,7 +406,7 @@ class Simulation:
         datacenter = self.datacenter
         arrays = getattr(datacenter, "arrays", None)
         if arrays is not None:
-            ram_free = arrays.pm_ram_mb - arrays.pm_ram_used_mb()
+            ram_free = arrays.pm_ram_free_mb()
             candidates = np.flatnonzero(
                 datacenter.vm(vm_id).ram_mb <= ram_free
             )

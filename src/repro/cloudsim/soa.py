@@ -79,6 +79,15 @@ class DatacenterArrays:
         self._demand_dirty = True
         self._bw_dirty = True
         self._delivered_dirty = True
+        # Derived-vector caches keyed on aggregate rebuild generations:
+        # the dirty flags above answer "is the aggregate itself stale?";
+        # the generation counter answers the second-order question "has
+        # the aggregate been *rebuilt* since this derived vector was
+        # computed from it?" — so derived caches stay fresh without
+        # adding new flags to the declared invariant table.
+        self._ram_rebuilds = 0
+        self._pm_ram_free = np.zeros(num_pms, dtype=np.float64)
+        self._ram_free_gen = -1
 
     # ------------------------------------------------------------------
     # Dirty-flag management
@@ -165,6 +174,7 @@ class DatacenterArrays:
         if self._ram_dirty:
             self._pm_ram_used = self._sum_by_host(self.vm_ram_mb)
             self._ram_dirty = False
+            self._ram_rebuilds += 1
         return self._pm_ram_used
 
     def pm_demand_mips(self) -> np.ndarray:
@@ -194,6 +204,24 @@ class DatacenterArrays:
     # ------------------------------------------------------------------
     # Derived vectors used by the per-step pipeline
     # ------------------------------------------------------------------
+    def pm_ram_free_mb(self) -> np.ndarray:
+        """RAM still available per host (``pm_ram_mb − pm_ram_used_mb``).
+
+        Cached against :attr:`_ram_rebuilds`: the subtraction reruns only
+        when the RAM aggregate was actually rebuilt, so candidate
+        generation and placement queues that query it many times per
+        step pay one vector subtract per mutation, not per query.  The
+        cache additionally relies on PM RAM capacities being static
+        after binding (``PhysicalMachine`` has no post-bind capacity
+        setter), matching the invariant table's note that capacity
+        vectors carry no dirty flag.
+        """
+        used = self.pm_ram_used_mb()
+        if self._ram_free_gen != self._ram_rebuilds:
+            self._pm_ram_free = self.pm_ram_mb - used
+            self._ram_free_gen = self._ram_rebuilds
+        return self._pm_ram_free
+
     def pm_demand_utilization(self) -> np.ndarray:
         """Demanded load fraction per host (can exceed 1)."""
         return self.pm_demand_mips() / self.pm_mips

@@ -4,10 +4,12 @@
 the dict-of-rows matrix that exploits it (Section 5.2), ``lstd`` the
 Sherman–Morrison incremental inverse and least-squares machinery
 (Algorithm 1), ``exploration`` the Boltzmann policy calculator
-(Algorithm 2), and ``agent`` the full scheduler.
+(Algorithm 2), ``candidates`` the array-native candidate pipeline
+feeding it, and ``agent`` the full scheduler.
 """
 
 from repro.core.basis import SparseBasis
+from repro.core.candidates import CandidateIndex, CandidatePlan
 from repro.core.sparse import SparseMatrix
 from repro.core.lstd import SparseLstd
 from repro.core.dense import DenseLstd
@@ -19,6 +21,8 @@ from repro.core.trace import DecisionRecord, DecisionTrace
 
 __all__ = [
     "SparseBasis",
+    "CandidateIndex",
+    "CandidatePlan",
     "SparseMatrix",
     "SparseLstd",
     "DenseLstd",

@@ -22,13 +22,15 @@ the non-zeros touched in ``B`` — never to the full ``d = N x M`` space.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloudsim.migration import Migration
 from repro.config import MeghConfig
 from repro.core.basis import SparseBasis
+from repro.core.candidates import CandidateIndex, CandidatePlan
 from repro.core.contracts import (
     ContractConfig,
     ShermanMorrisonAuditor,
@@ -77,6 +79,7 @@ class MeghScheduler:
         trace=None,
         contracts=None,
         dynamic_slots: bool = False,
+        scalar_candidates: Optional[bool] = None,
     ) -> None:
         if not 0 < beta <= 1:
             raise ConfigurationError("beta must be in (0, 1]")
@@ -87,6 +90,21 @@ class MeghScheduler:
         self.bandwidth_beta = bandwidth_beta
         self.action_space = ActionSpace(num_vms=num_vms, num_pms=num_pms)
         self.basis = SparseBasis(self.action_space)
+        #: Array-native candidate pipeline (see repro.core.candidates).
+        self.candidate_index = CandidateIndex(
+            beta=beta, bandwidth_beta=bandwidth_beta, config=self.config
+        )
+        #: Differential-oracle switch: route candidate generation through
+        #: the retained scalar pipeline instead of the vectorized index.
+        #: ``None`` consults ``REPRO_SCALAR_CANDIDATES`` so benches and
+        #: tests can flip the generator without threading a flag through
+        #: every construction site.  Both generators produce identical
+        #: plans — the scalar path exists to prove exactly that.
+        if scalar_candidates is None:
+            scalar_candidates = os.environ.get(
+                "REPRO_SCALAR_CANDIDATES", ""
+            ) not in ("", "0")
+        self.scalar_candidates = scalar_candidates
         self.lstd = SparseLstd(
             dimension=self.action_space.dimension,
             gamma=self.config.gamma,
@@ -150,20 +168,19 @@ class MeghScheduler:
     # Scheduler protocol
     # ------------------------------------------------------------------
     def decide(self, observation: Observation) -> List[Migration]:
-        candidates = self._candidate_actions(observation)
-        self._learn_from_last_step(observation, candidates)
-        chosen = self._select_actions(observation, candidates)
         datacenter = observation.datacenter
-        moves = [
-            (a, q)
-            for a, q in chosen
-            if datacenter.host_of(a.vm_id) != a.dest_pm_id
-        ]
-        noops = [
-            a
-            for a, _ in chosen
-            if datacenter.host_of(a.vm_id) == a.dest_pm_id
-        ]
+        # The scalar oracle also serves backends without a
+        # struct-of-arrays store (the reference object-model datacenter).
+        if self.scalar_candidates or getattr(
+            datacenter, "arrays", None
+        ) is None:
+            plan = self.candidate_index.plan_from_lists(
+                datacenter, self._candidate_actions(observation)
+            )
+        else:
+            plan = self.candidate_index.plan(datacenter)
+        self._learn_from_last_step(observation, plan.action_indices)
+        moves, noops = self._select_from_plan(plan)
         # Record the executed migrations plus a bounded sample of no-ops,
         # keeping the number of LSTD updates per step O(#migrations) —
         # the Section 5.2 complexity claim.
@@ -174,9 +191,8 @@ class MeghScheduler:
             )
             noops = [noops[int(i)] for i in picked]
         self._previous_action_indices = [
-            self.basis.index_of(action)
-            for action in [a for a, _ in moves] + noops
-        ]
+            entry[3] for entry in moves
+        ] + [entry[3] for entry in noops]
         if self.trace is not None:
             from repro.core.trace import DecisionRecord
 
@@ -185,17 +201,15 @@ class MeghScheduler:
                     step=observation.step,
                     temperature=self.policy.temperature,
                     normalized_cost=self._last_normalized_cost,
-                    num_candidate_vms=len(candidates),
-                    num_candidate_actions=sum(
-                        len(actions) for actions in candidates
-                    ),
+                    num_candidate_vms=plan.num_rows,
+                    num_candidate_actions=plan.num_actions,
                     chosen=tuple(
-                        (a.vm_id, a.dest_pm_id) for a, _ in moves
+                        (vm_id, dest) for vm_id, dest, _, _ in moves
                     ),
                     # Raw (margin-free) Q, reused from selection — B and
                     # z have not changed since, so recomputing would be
                     # the same value at twice the cost.
-                    chosen_q=tuple(q for _, q in moves),
+                    chosen_q=tuple(raw for _, _, raw, _ in moves),
                     q_table_nonzeros=self.lstd.q_table_nonzeros,
                 )
             )
@@ -203,8 +217,8 @@ class MeghScheduler:
         self._steps_seen += 1
         self.qtable.record(self._steps_seen, self.lstd.q_table_nonzeros)
         return [
-            Migration(vm_id=a.vm_id, dest_pm_id=a.dest_pm_id)
-            for a, _ in moves
+            Migration(vm_id=vm_id, dest_pm_id=dest)
+            for vm_id, dest, _, _ in moves
         ]
 
     def retire_vm(self, vm_slot: int) -> None:
@@ -247,10 +261,21 @@ class MeghScheduler:
         considered first.  The ``max_candidate_vms`` cap bounds per-step
         work without changing what is learnable: the (vm, destination)
         Q-values persist across steps.
+
+        Retained as the differential oracle for the vectorized
+        :class:`~repro.core.candidates.CandidateIndex` — the per-entity
+        loops here are the *specification* the broadcast path must match
+        element for element, so they stay scalar on purpose.
         """
         datacenter = observation.datacenter
         source_vms: List[int] = []
-        for pm_id in datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta):
+        # The overload predicate is evaluated exactly once per decide —
+        # both for source ordering and for the mandatory/relief test
+        # below (nothing mutates the datacenter in between).
+        overloaded_ids = datacenter.overloaded_pm_ids(
+            self.beta, self.bandwidth_beta
+        )
+        for pm_id in overloaded_ids:
             source_vms.extend(
                 vm_id
                 for vm_id in sorted(datacenter.vms_on(pm_id))
@@ -274,7 +299,7 @@ class MeghScheduler:
         cap = self.config.max_candidate_vms
         if cap:
             source_vms = source_vms[:cap]
-        overloaded_now = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
+        overloaded_now = set(overloaded_ids)
         per_vm: List[List[MigrationAction]] = []
         seen = set()
         for vm_id in source_vms:
@@ -354,7 +379,7 @@ class MeghScheduler:
     ) -> List[int]:
         vm = datacenter.vm(vm_id)
         feasible: List[int] = []
-        for pm in datacenter.pms:
+        for pm in datacenter.pms:  # meghlint: ignore[MEGH009] -- scalar differential oracle: this loop IS the spec the vectorized CandidateIndex is checked against
             if pm.pm_id == current:
                 continue
             # Consolidation only packs onto hosts that already serve VMs;
@@ -388,14 +413,20 @@ class MeghScheduler:
     def _learn_from_last_step(
         self,
         observation: Observation,
-        candidates: List[List[MigrationAction]],
+        action_indices: np.ndarray,
     ) -> None:
+        """Complete last step's Algorithm-1 iteration.
+
+        ``action_indices`` is the current plan's flat candidate array
+        (``vm_id * M + dest_pm_id``), fed straight to the batched Q
+        evaluation — no per-action object traffic.
+        """
         if not self._previous_action_indices:
             return
         cost = self._normalize_cost(observation.last_step_cost_usd)
         if self.auditor is not None:
             require_finite("normalized step cost", cost)
-        next_index = self._greedy_candidate_index(candidates)
+        next_index = self._greedy_candidate_index(action_indices)
         for action_index in self._previous_action_indices:
             target = next_index if next_index is not None else action_index
             # Each action "in effect" last step receives the full step
@@ -428,69 +459,68 @@ class MeghScheduler:
         return normalized
 
     def _greedy_candidate_index(
-        self, candidates: List[List[MigrationAction]]
+        self, action_indices: np.ndarray
     ) -> Optional[int]:
         """``phi_{pi_t(s_{t+1})}``: the current policy's pick in the new state."""
-        indices = [
-            self.basis.index_of(action)
-            for actions in candidates
-            for action in actions
-        ]
-        if not indices:
+        if action_indices.shape[0] == 0:
             return None
-        q_batch = self.lstd.q_values(indices)
+        q_batch = self.lstd.q_values(action_indices)
         # np.argmin keeps the first minimiser, matching the historical
         # strict `<` scan.
-        return indices[int(np.argmin(q_batch))]
+        return int(action_indices[int(np.argmin(q_batch))])
 
     # ------------------------------------------------------------------
     # Action selection ("when")
     # ------------------------------------------------------------------
-    def _select_actions(
-        self,
-        observation: Observation,
-        candidates: List[List[MigrationAction]],
-    ) -> List[tuple]:
-        """Pick one action per candidate VM; returns ``(action, raw_q)``.
+    def _select_from_plan(
+        self, plan: CandidatePlan
+    ) -> Tuple[List[tuple], List[tuple]]:
+        """Pick one action per candidate VM straight off the plan arrays.
 
-        ``raw_q`` is the margin-free ``Q(s, a)`` of the selected action,
-        handed back so ``decide()``'s trace branch can reuse it instead
-        of recomputing the same dot products.
+        Returns ``(moves, noops)``, each a list of
+        ``(vm_id, dest_pm_id, raw_q, flat_index)`` tuples — ``raw_q`` is
+        the margin-free ``Q(s, a)`` of the selected action, handed back
+        so ``decide()``'s trace branch can reuse it instead of
+        recomputing the same dot products, and ``flat_index`` the
+        already-fused basis coordinate for the learner.  Moves are
+        capped at the migration budget with relief moves first.
         """
-        datacenter = observation.datacenter
-        overloaded_now = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
         # One batched Q evaluation for the whole candidate set; per-VM
         # slices below are views into this cache-backed array.
-        flat_q = self.lstd.q_values(
-            [
-                self.basis.index_of(action)
-                for actions in candidates
-                for action in actions
-            ]
-        )
-        picks: List[tuple[float, MigrationAction, float]] = []
-        offset = 0
-        for actions in candidates:
-            raw_q = flat_q[offset : offset + len(actions)]
-            offset += len(actions)
-            source = datacenter.host_of(actions[0].vm_id)
-            mandatory = source in overloaded_now
-            q_values = raw_q.copy()
+        flat_q = self.lstd.q_values(plan.action_indices)
+        offsets = plan.offsets
+        dest_pm = plan.dest_pm
+        picks: List[tuple] = []
+        for r in range(plan.num_rows):
+            start = int(offsets[r])
+            end = int(offsets[r + 1])
+            raw_q = flat_q[start:end]
+            dests = dest_pm[start:end]
+            source = int(plan.sources[r])
+            mandatory = bool(plan.mandatory[r])
             # Soft switching cost: consolidation moves must beat the
             # stay-put Q by the hysteresis margin.  At high
             # temperature the margin is negligible (exploration is
             # unharmed); once the temperature decays it suppresses
             # ping-pong between equally good homes.  Relief moves off
             # overloaded hosts are exempt.
-            if not mandatory:
-                q_values += self.config.migration_margin * np.fromiter(
-                    (action.dest_pm_id != source for action in actions),
-                    dtype=np.float64,
-                    count=len(actions),
+            if mandatory:
+                q_values = raw_q.copy()
+            else:
+                q_values = raw_q + self.config.migration_margin * (
+                    dests != source
                 )
-            action, index = self.policy.select(actions, q_values)
+            _, index = self.policy.select(dests, q_values)
             picks.append(
-                (float(q_values[index]), action, float(raw_q[index]))
+                (
+                    float(q_values[index]),
+                    int(plan.vm_ids[r]),
+                    int(dests[index]),
+                    float(raw_q[index]),
+                    int(plan.action_indices[start + index]),
+                    mandatory,
+                    source,
+                )
             )
         max_moves = max(
             1, int(self.config.max_migration_fraction * self.action_space.num_vms)
@@ -499,29 +529,24 @@ class MeghScheduler:
         # moves at the 2 % budget.  Within the budget, moves that relieve
         # an overloaded host come first (they are why "when to migrate"
         # matters); remaining slots go to the best-Q consolidation moves.
-        overloaded = set(datacenter.overloaded_pm_ids(self.beta, self.bandwidth_beta))
         noops = [
-            (action, raw)
-            for _, action, raw in picks
-            if datacenter.host_of(action.vm_id) == action.dest_pm_id
+            (vm_id, dest, raw, flat)
+            for _, vm_id, dest, raw, flat, _, source in picks
+            if dest == source
         ]
-        moves = sorted(
+        ranked = sorted(
             (
-                (
-                    datacenter.host_of(action.vm_id) not in overloaded,
-                    q,
-                    action,
-                    raw,
-                )
-                for q, action, raw in picks
-                if datacenter.host_of(action.vm_id) != action.dest_pm_id
+                (not mandatory, q, vm_id, dest, raw, flat)
+                for q, vm_id, dest, raw, flat, mandatory, source in picks
+                if dest != source
             ),
             key=lambda entry: (entry[0], entry[1]),
         )
-        chosen = noops + [
-            (action, raw) for _, _, action, raw in moves[:max_moves]
+        moves = [
+            (vm_id, dest, raw, flat)
+            for _, _, vm_id, dest, raw, flat in ranked[:max_moves]
         ]
-        return chosen
+        return moves, noops
 
     # ------------------------------------------------------------------
     # Introspection

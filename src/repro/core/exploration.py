@@ -84,10 +84,17 @@ class BoltzmannPolicy:
     def select(
         self, actions: Sequence[ActionT], q_values: Sequence[float]
     ) -> Tuple[ActionT, int]:
-        """Sample an action; returns ``(action, index)``."""
+        """Sample an action; returns ``(action, index)``.
+
+        ``actions`` may be any indexable sequence — including a NumPy
+        destination row from the vectorized candidate plan, hence the
+        explicit ``len()`` emptiness checks (ndarray truthiness is
+        ambiguous).  Only ``len(actions)`` and the probabilities feed
+        the RNG, so list and array callers draw identical streams.
+        """
         if len(actions) != len(q_values):
             raise ConfigurationError("actions and q_values lengths differ")
-        if not actions:
+        if len(actions) == 0:
             raise ConfigurationError("cannot select from an empty action set")
         probabilities = self.probabilities(q_values)
         index = int(self._rng.choice(len(actions), p=probabilities))
@@ -99,7 +106,7 @@ class BoltzmannPolicy:
         """Pure exploitation — used once the temperature has decayed."""
         if len(actions) != len(q_values):
             raise ConfigurationError("actions and q_values lengths differ")
-        if not actions:
+        if len(actions) == 0:
             raise ConfigurationError("cannot select from an empty action set")
         index = min(range(len(actions)), key=lambda i: q_values[i])
         return actions[index], index
@@ -160,7 +167,7 @@ class EpsilonGreedyPolicy:
     ) -> Tuple[ActionT, int]:
         if len(actions) != len(q_values):
             raise ConfigurationError("actions and q_values lengths differ")
-        if not actions:
+        if len(actions) == 0:
             raise ConfigurationError("cannot select from an empty action set")
         if self._rng.random() < self.epsilon:
             index = int(self._rng.integers(0, len(actions)))
@@ -173,7 +180,7 @@ class EpsilonGreedyPolicy:
     ) -> Tuple[ActionT, int]:
         if len(actions) != len(q_values):
             raise ConfigurationError("actions and q_values lengths differ")
-        if not actions:
+        if len(actions) == 0:
             raise ConfigurationError("cannot select from an empty action set")
         index = min(range(len(actions)), key=lambda i: q_values[i])
         return actions[index], index

@@ -1,10 +1,12 @@
 """``repro bench --check`` — perf-regression smoke gate.
 
 Compares fresh ``--fast`` numbers from ``benchmarks/bench_core_lstd.py``,
-``benchmarks/bench_sim_step.py`` and ``benchmarks/bench_service_churn.py``
-against the committed records (``BENCH_core.json`` / ``BENCH_sim.json``
-/ ``BENCH_service.json``) and fails when a throughput metric falls below
-its noise floor.
+``benchmarks/bench_core_decide.py``, ``benchmarks/bench_sim_step.py``
+and ``benchmarks/bench_service_churn.py`` against the committed records
+(``BENCH_core.json`` / ``BENCH_sim.json`` / ``BENCH_service.json``) and
+fails when a throughput metric falls below its noise floor.  The two
+core scripts merge into the same fresh document (``lstd`` and
+``decide`` sections of the core record).
 
 Fast mode runs a much smaller problem than the committed records, so
 the two are *not* directly comparable — batched kernels lose their
@@ -17,10 +19,11 @@ container.  The gate catches collapses (an accidental O(n²) hot path,
 a dropped cache), not percent-level jitter.  ``--band`` scales every
 floor at once (e.g. ``--band 0.5`` halves them for noisy CI runners).
 
-One check is exact rather than statistical: the fresh sim benchmark's
-``identical_results_soa_vs_reference`` must be ``True`` — a perf gate
-that tolerates a bit-identity break would be certifying the wrong
-thing.
+Two checks are exact rather than statistical: the fresh sim benchmark's
+``identical_results_soa_vs_reference`` must be ``True``, and the fresh
+decide benchmark (run with ``--check-oracle``) must report
+``oracle_match`` ``True`` — a perf gate that tolerates a bit-identity
+break would be certifying the wrong thing.
 
 Exit codes mirror ``repro lint``: 0 ok, 1 regression, 2 on crashes and
 usage errors.
@@ -54,6 +57,7 @@ METRIC_FLOORS: Tuple[Tuple[str, str, float], ...] = (
     ("core", "lstd.q_value_warm_ops_per_s", 0.15),
     ("core", "lstd.q_values_batched_ops_per_s", 0.01),
     ("core", "lstd.warm_over_cold_speedup", 0.20),
+    ("core", "decide.decide_ops_per_s", 0.75),
     ("sim", "sim_step.after.steps_per_s_non_scheduler", 1.00),
     ("sim", "sim_step.speedup_non_scheduler", 0.08),
     ("service", "service_churn.steps_per_s", 0.50),
@@ -140,10 +144,26 @@ def check_benchmarks(
             )
     except KeyError as error:
         hard_failures.append(f"bench-gate: sim: {error.args[0]}")
+    try:
+        oracle = _dig(fresh["core"], "decide.oracle_match")
+        if oracle is not True:
+            hard_failures.append(
+                "bench-gate: fresh decide run reports "
+                f"oracle_match={oracle!r} — the vectorized candidate "
+                "pipeline diverged from the scalar generator; fix "
+                "bit-identity before perf"
+            )
+    except KeyError as error:
+        hard_failures.append(f"bench-gate: core: {error.args[0]}")
     return findings, hard_failures
 
 
-def _run_fast_benchmark(script: Path, out: Path, seed: int) -> None:
+def _run_fast_benchmark(
+    script: Path,
+    out: Path,
+    seed: int,
+    extra: Sequence[str] = (),
+) -> None:
     """Run one benchmark script in fast mode writing JSON to ``out``."""
     environment = dict(os.environ)
     src_root = str(Path(__file__).resolve().parents[2])
@@ -160,6 +180,7 @@ def _run_fast_benchmark(script: Path, out: Path, seed: int) -> None:
             str(seed),
             "--out",
             str(out),
+            *extra,
         ],
         check=True,
         env=environment,
@@ -217,7 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh-core",
         default=None,
         metavar="FILE",
-        help="use this JSON instead of running bench_core_lstd.py",
+        help=(
+            "use this JSON instead of running bench_core_lstd.py and "
+            "bench_core_decide.py (must hold both sections)"
+        ),
     )
     parser.add_argument(
         "--fresh-sim",
@@ -269,6 +293,15 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
                     Path(args.bench_dir) / "bench_core_lstd.py",
                     fresh_core,
                     args.seed,
+                )
+                # Merges into the same core document ("decide" section);
+                # --check-oracle makes a candidate-pipeline divergence a
+                # non-zero exit here, before the floors are even read.
+                _run_fast_benchmark(
+                    Path(args.bench_dir) / "bench_core_decide.py",
+                    fresh_core,
+                    args.seed,
+                    extra=("--check-oracle",),
                 )
             if args.fresh_sim is not None:
                 fresh_sim = Path(args.fresh_sim)

@@ -594,7 +594,9 @@ class ServiceSimulation:
         still_pending: List[int] = []
         for uid in runtime.pending:
             slot = runtime.live[uid].slot
-            ram_free = arrays.pm_ram_mb - arrays.pm_ram_used_mb()
+            # Cached derived vector: recomputed only when a placement in
+            # this loop actually dirtied the RAM aggregate.
+            ram_free = arrays.pm_ram_free_mb()
             candidates = np.flatnonzero(
                 self.datacenter.vm(slot).ram_mb <= ram_free
             )

@@ -423,3 +423,42 @@ class TestMegh009PerEntityFleetLoops:
             "        vm.bind()\n"
         )
         assert self.path_findings(source, self.CLOUDSIM_PATH) == []
+
+    def test_flags_agent_hot_paths(self):
+        # The decide() pipeline went array-native; entity loops there
+        # are as hot as the simulator's.
+        source = (
+            "def scan(self, datacenter):\n"
+            "    for pm in datacenter.pms:\n"
+            "        print(pm)\n"
+        )
+        for path in (
+            "src/repro/core/agent.py",
+            "src/repro/core/candidates.py",
+        ):
+            hits = self.path_findings(source, path)
+            assert len(hits) == 1, path
+            assert "'pms'" in hits[0].message
+
+    def test_other_core_modules_stay_exempt(self):
+        # Only the candidate/decide hot-path modules are covered; the
+        # rest of repro/core has no fleet objects to walk.
+        source = (
+            "def scan(self, datacenter):\n"
+            "    for pm in datacenter.pms:\n"
+            "        print(pm)\n"
+        )
+        assert self.path_findings(source, "src/repro/core/lstd.py") == []
+
+    def test_agent_scalar_oracle_suppression_fires(self):
+        # The retained scalar generator in the real agent module keeps a
+        # reasoned suppression on its per-PM loop — and it must fire
+        # (the self-lint test rejects stale suppressions).
+        source = (
+            "def feasible(self, datacenter):\n"
+            "    for pm in datacenter.pms:  "
+            "# meghlint: ignore[MEGH009] -- scalar differential oracle "
+            "retained as the spec\n"
+            "        print(pm)\n"
+        )
+        assert self.path_findings(source, "src/repro/core/agent.py") == []

@@ -16,7 +16,7 @@ from repro.cli import main as repro_main
 from repro.harness.benchgate import METRIC_FLOORS, check_benchmarks, run
 
 
-def _core_document(scale=1.0):
+def _core_document(scale=1.0, oracle=True):
     return {
         "lstd": {
             "rank_one_update_ops_per_s": 1000.0 * scale,
@@ -24,7 +24,11 @@ def _core_document(scale=1.0):
             "q_value_warm_ops_per_s": 8000.0 * scale,
             "q_values_batched_ops_per_s": 50000.0 * scale,
             "warm_over_cold_speedup": 4.0 * scale,
-        }
+        },
+        "decide": {
+            "decide_ops_per_s": 250.0 * scale,
+            "oracle_match": oracle,
+        },
     }
 
 
@@ -48,9 +52,9 @@ def _service_document(scale=1.0):
     }
 
 
-def _documents(scale=1.0, identical=True):
+def _documents(scale=1.0, identical=True, oracle=True):
     return {
-        "core": _core_document(scale),
+        "core": _core_document(scale, oracle=oracle),
         "sim": _sim_document(scale, identical=identical),
         "service": _service_document(scale),
     }
@@ -97,6 +101,14 @@ class TestCheckBenchmarks:
         assert len(hard) == 1
         assert "identical_results_soa_vs_reference" in hard[0]
 
+    def test_candidate_oracle_break_is_a_hard_failure(self):
+        findings, hard = check_benchmarks(
+            _documents(oracle=False), _documents()
+        )
+        assert all(finding.ok for finding in findings)
+        assert len(hard) == 1
+        assert "oracle_match" in hard[0]
+
     def test_missing_metric_reports_schema_drift(self):
         fresh = _documents()
         del fresh["core"]["lstd"]["warm_over_cold_speedup"]
@@ -105,13 +117,13 @@ class TestCheckBenchmarks:
         assert len(findings) == len(METRIC_FLOORS) - 1
 
 
-def _write_documents(tmp_path, scale=1.0, identical=True):
+def _write_documents(tmp_path, scale=1.0, identical=True, oracle=True):
     paths = {}
     for key, document in (
         ("committed_core", _core_document()),
         ("committed_sim", _sim_document()),
         ("committed_service", _service_document()),
-        ("fresh_core", _core_document(scale)),
+        ("fresh_core", _core_document(scale, oracle=oracle)),
         ("fresh_sim", _sim_document(scale, identical=identical)),
         ("fresh_service", _service_document(scale)),
     ):
@@ -163,6 +175,13 @@ class TestCli:
         paths = _write_documents(tmp_path, identical=False)
         assert run(_argv(paths)) == 1
         assert "bit-identity" in capsys.readouterr().out
+
+    def test_oracle_break_fails_despite_good_throughput(
+        self, tmp_path, capsys
+    ):
+        paths = _write_documents(tmp_path, oracle=False)
+        assert run(_argv(paths)) == 1
+        assert "oracle_match" in capsys.readouterr().out
 
     def test_no_check_is_a_usage_error(self, capsys):
         assert run([]) == 2
