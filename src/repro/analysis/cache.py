@@ -15,10 +15,11 @@ all ASTs regardless, and the parse-once discipline (one ``ast.parse``
 per file per invocation) is the invariant the engine's tests pin.  What
 a hit skips is rule execution.
 
-The config fingerprint folds in ``select``/``ignore``/``flow``/``par``
-*and* a toolchain hash over every source file of ``repro.analysis``
-itself, so editing any rule invalidates the whole cache — a stale
-result can never outlive the code that produced it.
+The config fingerprint folds in ``select``/``ignore``/``flow``/``par``/
+``shape`` *and* a toolchain hash over every source file of
+``repro.analysis`` itself — the per-file rules, meghflow, meghpar, and
+meghshape alike — so editing any analyzer module invalidates the whole
+cache: a stale result can never outlive the code that produced it.
 
 Storage is one JSON document, ``meghlint-cache.json``, under the
 directory given to ``repro lint --cache-dir``.  A missing, unreadable,
@@ -49,13 +50,33 @@ def _sha256_text(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _toolchain_hash() -> str:
+def _toolchain_sources(package_root: Optional[Path] = None) -> List[Path]:
+    """Every analyzer source file folded into the toolchain hash.
+
+    Exposed (and parameterized) so the cache-invalidation regression
+    tests can assert that each analysis subpackage — including newly
+    added ones like ``repro.analysis.shape`` — is covered, and that
+    mutating any of these files busts the cache.
+    """
+    root = (
+        package_root
+        if package_root is not None
+        else Path(__file__).resolve().parent
+    )
+    return sorted(root.rglob("*.py"))
+
+
+def _toolchain_hash(package_root: Optional[Path] = None) -> str:
     """Hash of every ``repro.analysis`` source file (rule changes
     invalidate cached results)."""
-    package_root = Path(__file__).resolve().parent
+    root = (
+        package_root
+        if package_root is not None
+        else Path(__file__).resolve().parent
+    )
     digest = hashlib.sha256()
-    for source in sorted(package_root.rglob("*.py")):
-        digest.update(source.relative_to(package_root).as_posix().encode())
+    for source in _toolchain_sources(root):
+        digest.update(source.relative_to(root).as_posix().encode())
         digest.update(b"\0")
         digest.update(source.read_bytes())
         digest.update(b"\0")
@@ -125,6 +146,7 @@ class LintCache:
         ignore: Optional[Sequence[str]],
         flow: bool,
         par: bool,
+        shape: bool,
     ) -> str:
         """Fold the rule selection and the analyzer sources into one key."""
         document = {
@@ -132,6 +154,7 @@ class LintCache:
             "ignore": sorted(ignore) if ignore is not None else None,
             "flow": flow,
             "par": par,
+            "shape": shape,
             "toolchain": self._toolchain,
         }
         return _sha256_text(json.dumps(document, sort_keys=True))

@@ -28,8 +28,9 @@ from repro.analysis.engine import (
 )
 from repro.analysis.flow import FLOW_RULES
 from repro.analysis.par import PAR_RULES
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.rules import RULE_REGISTRY, all_rule_ids
+from repro.analysis.shape import SHAPE_RULES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,9 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text); sarif emits a SARIF 2.1.0 "
+            "document for code-scanning upload"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -75,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "skip the meghpar determinism/process-safety pass "
             "(MEGH014-MEGH018)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shape",
+        action="store_true",
+        help=(
+            "skip the meghshape symbolic-shape/ABI pass "
+            "(MEGH019-MEGH023)"
         ),
     )
     parser.add_argument(
@@ -135,6 +147,9 @@ def _print_rules() -> None:
     for rule_id in sorted(PAR_RULES):
         severity, summary = PAR_RULES[rule_id]
         print(f"{rule_id} [{severity}] {summary} (par)")
+    for rule_id in sorted(SHAPE_RULES):
+        severity, summary = SHAPE_RULES[rule_id]
+        print(f"{rule_id} [{severity}] {summary} (shape)")
     print(
         f"{UNUSED_SUPPRESSION_RULE} [warning] suppression directive that "
         "never fires (engine; failing under --strict-suppressions)"
@@ -156,6 +171,7 @@ def run(argv: Optional[List[str]] = None) -> int:
             ignore=_split_rule_ids(args.ignore),
             flow=not args.no_flow,
             par=not args.no_par,
+            shape=not args.no_shape,
         )
         config.validate()  # fail on unknown ids before touching the fs
         previous: Optional[Baseline] = None
@@ -202,6 +218,8 @@ def run(argv: Optional[List[str]] = None) -> int:
     )
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, strict=args.strict_suppressions))
     if not result.clean:

@@ -42,6 +42,7 @@ from repro.analysis.flow import (
 )
 from repro.analysis.par import PAR_RULES, run_par
 from repro.analysis.rules import Rule, RuleContext, build_rules
+from repro.analysis.shape import SHAPE_RULES, run_shape
 
 _SUPPRESSION_PATTERN = re.compile(
     r"#\s*meghlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
@@ -56,7 +57,10 @@ UNUSED_SUPPRESSION_RULE = "MEGH013"
 
 #: Rule ids handled by the engine rather than the per-file registry.
 _ENGINE_RULE_IDS = (
-    frozenset(FLOW_RULES) | frozenset(PAR_RULES) | {UNUSED_SUPPRESSION_RULE}
+    frozenset(FLOW_RULES)
+    | frozenset(PAR_RULES)
+    | frozenset(SHAPE_RULES)
+    | {UNUSED_SUPPRESSION_RULE}
 )
 
 
@@ -96,6 +100,10 @@ class LintConfig:
     #: in :func:`lint_paths`.  Shares the flow pass's project model and
     #: call graph — both passes see the same instances.
     par: bool = True
+    #: Run the meghshape symbolic-shape/ABI pass (MEGH019–MEGH023) in
+    #: :func:`lint_paths`.  Consumes the same project model as the flow
+    #: and par passes (parse-once, resolve-once).
+    shape: bool = True
     #: Directory names never descended into.
     excluded_dirs: Sequence[str] = (
         ".git",
@@ -418,9 +426,10 @@ def lint_paths(
     """Lint every ``.py`` file under the given files/directories.
 
     This is the whole-program entry point: after the per-file rules it
-    runs the flow pass (unless ``config.flow`` is off) and the meghpar
-    pass (unless ``config.par`` is off) over the same ASTs — sharing
-    one project model and call graph between them — applies line
+    runs the flow pass (unless ``config.flow`` is off), the meghpar
+    pass (unless ``config.par`` is off), and the meghshape pass
+    (unless ``config.shape`` is off) over the same ASTs — sharing one
+    project model and call graph between them — applies line
     suppressions to their findings too, and finally reports directives
     that never fired.
     """
@@ -429,7 +438,11 @@ def lint_paths(
     result = LintResult()
     fingerprint = (
         cache.config_fingerprint(
-            config.select, config.ignore, config.flow, config.par
+            config.select,
+            config.ignore,
+            config.flow,
+            config.par,
+            config.shape,
         )
         if cache is not None
         else ""
@@ -479,7 +492,7 @@ def lint_paths(
                     },
                 ),
             )
-    if config.flow or config.par:
+    if config.flow or config.par or config.shape:
         by_path = {module.path: module for module in modules}
         whole_record: Optional[FileRecord] = None
         project_sha = ""
@@ -507,6 +520,8 @@ def lint_paths(
                 enabled |= set(FLOW_RULES)
             if config.par:
                 enabled |= set(PAR_RULES)
+            if config.shape:
+                enabled |= set(SHAPE_RULES)
             if select is not None:
                 enabled &= select
             if ignore is not None:
@@ -532,6 +547,16 @@ def lint_paths(
             if config.par:
                 whole_program.extend(
                     run_par(
+                        flow_input,
+                        select,
+                        ignore,
+                        project=project,
+                        graph=graph,
+                    )
+                )
+            if config.shape:
+                whole_program.extend(
+                    run_shape(
                         flow_input,
                         select,
                         ignore,

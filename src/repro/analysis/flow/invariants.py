@@ -209,6 +209,11 @@ FIELD_TYPES: Dict[str, ArrayType] = {
     "_pm_bw_mbps": ArrayType("float64", "M"),
     "_pm_delivered_mips": ArrayType("float64", "M"),
     "_pm_ram_free": ArrayType("float64", "M"),
+    # CandidateIndex static per-PM budget vectors (repro/core/candidates.py).
+    "_mips_budget": ArrayType("float64", "M"),
+    "_mips_budget_full": ArrayType("float64", "M"),
+    "_bw_budget": ArrayType("float64", "M"),
+    "_bw_budget_full": ArrayType("float64", "M"),
 }
 
 #: Method name -> declared return type (DatacenterArrays queries).
@@ -223,6 +228,11 @@ METHOD_TYPES: Dict[str, ArrayType] = {
     "pm_bw_demand_utilization": ArrayType("float64", "M"),
     "active_pm_mask": ArrayType("bool", "M"),
     "overloaded_pm_mask": ArrayType("bool", "M"),
+    # Backfilled while writing the meghshape dimension table: these
+    # return arrays but were undeclared (the pm_ram_free_mb pattern).
+    "_sum_by_host": ArrayType("float64", "M"),
+    "column_support": ArrayType("int64", "?"),
+    "theta": ArrayType("float64", "?"),
 }
 
 #: Size-argument attribute names that reveal a new array's axis:

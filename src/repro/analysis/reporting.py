@@ -1,10 +1,13 @@
-"""Reporters: human-readable text and machine-readable JSON."""
+"""Reporters: human-readable text, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
+from pathlib import PurePath
+from typing import Any, Dict, List
 
-from repro.analysis.engine import LintResult
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import UNUSED_SUPPRESSION_RULE, LintResult
 
 
 def render_text(result: LintResult, strict: bool = False) -> str:
@@ -73,5 +76,103 @@ def render_json(result: LintResult) -> str:
             diagnostic.to_dict() for diagnostic in result.unused_suppressions
         ],
         "stale_baseline": list(result.stale_baseline),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _sarif_rules() -> List[Dict[str, Any]]:
+    """Every registered rule, for the SARIF driver's rule table."""
+    from repro.analysis.flow import FLOW_RULES
+    from repro.analysis.par import PAR_RULES
+    from repro.analysis.rules import RULE_REGISTRY, all_rule_ids
+    from repro.analysis.shape import SHAPE_RULES
+
+    rules: List[Dict[str, Any]] = []
+    for rule_id in all_rule_ids():
+        rule_class = RULE_REGISTRY[rule_id]
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": rule_class.summary},
+                "defaultConfiguration": {
+                    "level": str(rule_class.severity)
+                },
+            }
+        )
+    for table in (FLOW_RULES, PAR_RULES, SHAPE_RULES):
+        for rule_id in sorted(table):
+            severity, summary = table[rule_id]
+            rules.append(
+                {
+                    "id": rule_id,
+                    "shortDescription": {"text": summary},
+                    "defaultConfiguration": {"level": str(severity)},
+                }
+            )
+    rules.append(
+        {
+            "id": UNUSED_SUPPRESSION_RULE,
+            "shortDescription": {
+                "text": "suppression directive that never fires"
+            },
+            "defaultConfiguration": {"level": "warning"},
+        }
+    )
+    return rules
+
+
+def _sarif_result(diagnostic: Diagnostic) -> Dict[str, Any]:
+    level = "error" if diagnostic.severity is Severity.ERROR else "warning"
+    return {
+        "ruleId": diagnostic.rule_id,
+        "level": level,
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": PurePath(diagnostic.path).as_posix(),
+                    },
+                    "region": {
+                        "startLine": diagnostic.line,
+                        "startColumn": max(diagnostic.column, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document (``repro lint --format sarif``).
+
+    One run, one driver ("meghlint"), every registered rule in the
+    driver's rule table so code-scanning UIs can show titles.  Findings
+    and unused-suppression notes both become results; suppressed and
+    baselined findings are — by definition — absent.
+    """
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "meghlint",
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": [
+                    _sarif_result(diagnostic)
+                    for diagnostic in (
+                        list(result.diagnostics)
+                        + list(result.unused_suppressions)
+                    )
+                ],
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True)

@@ -92,9 +92,12 @@ class UtilizationMonitor:
     def _chronological_rows(self) -> np.ndarray:
         """Ring row indices oldest-first."""
         if self._ring_filled < self._length:
-            return np.arange(self._ring_filled)
+            return np.arange(self._ring_filled, dtype=np.int64)
         return np.concatenate(
-            [np.arange(self._ring_pos, self._length), np.arange(self._ring_pos)]
+            [
+                np.arange(self._ring_pos, self._length, dtype=np.int64),
+                np.arange(self._ring_pos, dtype=np.int64),
+            ]
         )
 
     def _demote_ring(self) -> None:

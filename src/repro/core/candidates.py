@@ -314,7 +314,7 @@ class CandidateIndex:
         if consolidation.shape[0]:
             # Consolidation never wakes an empty host.
             feas[consolidation] &= arrays.active_pm_mask()[None, :]
-        feas[np.arange(num_rows), sources] = False
+        feas[np.arange(num_rows, dtype=np.int64), sources] = False
         # Relief rows with no destination under the safety headroom
         # retry at the full beta budget (allow_empty stays True).
         fallback: Dict[int, np.ndarray] = {}

@@ -328,7 +328,7 @@ class SparseMatrix:
         old_val = row.val[:n].copy()
         self._grow(row, needed)
         target = np.zeros(needed, dtype=bool)
-        target[positions + np.arange(count)] = True
+        target[positions + np.arange(count, dtype=np.int64)] = True
         prefix_idx = row.idx[:needed]
         prefix_val = row.val[:needed]
         prefix_idx[target] = columns

@@ -1,0 +1,27 @@
+"""Repaired twin of ``shape_abi_positive``: every pointer witnessed.
+
+Covers all four certification paths: a declared attribute, a local
+alias of one, a local owning constructor, and contracted parameters
+(``replay_rows`` requires owned contiguous int64 rows/starts).
+"""
+
+import numpy as np
+
+
+class Kernel:
+    def setup(self):
+        self._args = np.zeros(8, dtype=np.int64)
+        self._cmb_idx = np.zeros(64, dtype=np.int64)
+        self._cmb_val = np.empty(64, dtype=np.float64)
+
+    def marshal(self):
+        args = self._args
+        args[0] = self._cmb_idx.ctypes.data
+        args[1] = self._cmb_val.ctypes.data
+        scratch = np.empty(16, dtype=np.float64)
+        args[2] = scratch.ctypes.data
+        cmb = self._cmb_idx
+        args[3] = cmb.ctypes.data
+
+    def replay_rows(self, matrix, rows, starts, pending):
+        return rows.ctypes.data, starts.ctypes.data

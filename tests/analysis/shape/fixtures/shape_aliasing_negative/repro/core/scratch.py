@@ -1,0 +1,17 @@
+"""Repaired twin of ``shape_aliasing_positive``: no live overlap."""
+
+import numpy as np
+
+
+class Scratch:
+    def shift(self):
+        buf = self._vals_flat
+        # The shifted region is copied out before the in-place write.
+        shifted = buf[1:].copy()
+        np.add(buf[:63], shifted, out=buf[:63])
+        # Writing an operand onto itself is elementwise well-defined.
+        np.multiply(buf, buf, out=buf)
+
+    def blit(self):
+        staged = self._cols_flat[8:24].copy()
+        np.copyto(self._cols_flat[:16], staged)

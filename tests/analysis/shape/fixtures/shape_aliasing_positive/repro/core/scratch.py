@@ -1,0 +1,15 @@
+"""Seeded MEGH023 defects: overlapping in-place reads and writes."""
+
+import numpy as np
+
+
+class Scratch:
+    def shift(self):
+        buf = self._vals_flat
+        # Defect 1: out= target and an input are views of the same base
+        # with different regions — elements are read after overwrite.
+        np.add(buf[:63], buf[1:], out=buf[:63])
+
+    def blit(self):
+        # Defect 2: np.copyto over overlapping regions of one buffer.
+        np.copyto(self._cols_flat[:16], self._cols_flat[8:24])

@@ -1,0 +1,18 @@
+"""Repaired twin of ``shape_broadcast_positive``: silent by design.
+
+The promotion is declared with an explicit unit axis, and the N-axis
+operand is aggregated onto the M axis (``bincount`` gather) before the
+elementwise combine — both idioms the interpreter proves exact.
+"""
+
+import numpy as np
+
+
+class Planner:
+    def score(self):
+        # Explicit unit axis: (1, M) * (K, M) is exact broadcasting.
+        scaled = self._tmp * self.pm_mips[None, :]
+        # Aggregate N -> M first, then combine on the shared M axis.
+        per_pm = np.bincount(self.host_of, weights=self.vm_mips)
+        good = scaled + per_pm[None, :]
+        return good

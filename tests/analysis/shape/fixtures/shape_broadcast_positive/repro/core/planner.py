@@ -1,0 +1,19 @@
+"""Seeded MEGH019 defects: a dim conflict and an implicit promotion.
+
+Parsed, never imported.  ``self._tmp`` is the declared (K, M) float64
+candidate scratch; ``vm_mips`` is the (N,) per-VM vector and
+``pm_mips`` the (M,) per-PM vector from the dimension table.
+"""
+
+import numpy as np
+
+
+class Planner:
+    def score(self):
+        # Defect 1 (error): (K, M) + (N,) — the trailing dims M and N
+        # conflict outright; this raises at runtime unless N == M.
+        bad = self._tmp + self.vm_mips
+        # Defect 2 (warning): (K, M) * (M,) broadcasts, but only by an
+        # implicit rank promotion that is not declared intentional.
+        scaled = self._tmp * self.pm_mips
+        return bad, scaled

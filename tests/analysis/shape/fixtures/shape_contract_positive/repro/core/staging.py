@@ -1,0 +1,24 @@
+"""Seeded MEGH022 defects at contracted call boundaries.
+
+``enqueue`` declares parallel 1-d int64/float64 vectors;
+``replay_rows`` additionally requires owned contiguous buffers (their
+``.ctypes.data`` crosses the C ABI).
+"""
+
+import numpy as np
+
+
+class Staging:
+    def push(self, pending, matrix):
+        # Defect 1: 'columns' built float64 where the contract says int64.
+        cols = np.zeros(4, dtype=np.float64)
+        vals = np.zeros(4, dtype=np.float64)
+        # Defect 2: 'rows' is rank 2 where the contract says a vector.
+        rows = np.zeros((2, 2), dtype=np.int64)
+        pending.enqueue(matrix, 3, 0.5, cols, vals, rows)
+
+    def flush(self, backend, matrix, pending):
+        # Defect 3: a view flows into 'rows', which must own its buffer.
+        rows = self._pend_rows[:4]
+        starts = np.zeros(4, dtype=np.int64)
+        backend.replay_rows(matrix, rows, starts, pending)

@@ -1,0 +1,14 @@
+"""Repaired twin of ``shape_dtype_positive``: canonical dtypes only."""
+
+import numpy as np
+
+
+class Accumulator:
+    def index_rows(self):
+        return np.arange(self.num_vms, dtype=np.int64)
+
+    def rebuild(self):
+        self._pm_demand_mips = np.zeros(self.num_pms, dtype=np.float64)
+
+    def pm_demand_mips(self):
+        return self._pm_demand_mips

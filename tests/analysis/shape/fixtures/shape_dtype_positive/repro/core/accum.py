@@ -1,0 +1,17 @@
+"""Seeded MEGH020 defects: platform int, field drift, return drift."""
+
+import numpy as np
+
+
+class Accumulator:
+    def index_rows(self):
+        # Defect 1: platform-int leak (int32 on Windows/32-bit).
+        return np.arange(self.num_vms)
+
+    def rebuild(self):
+        # Defect 2: the declared float64 aggregate is rebuilt as int64.
+        self._pm_demand_mips = np.zeros(self.num_pms, dtype=np.int64)
+
+    def pm_demand_mips(self):
+        # Defect 3: declared to return float64, returns the int64 map.
+        return self.host_of

@@ -13,6 +13,7 @@ from repro.analysis import (
     render_text,
 )
 from repro.analysis.cli import run as lint_cli
+from repro.analysis.reporting import render_sarif
 from repro.cli import main as repro_main
 
 VIOLATING = "import time\nstart = time.time()\nx = start == 0.0\n"
@@ -96,6 +97,24 @@ class TestReporters:
         rules = {d["rule"] for d in document["diagnostics"]}
         assert rules == {"MEGH002", "MEGH003"}
 
+    def test_sarif_report_is_valid_and_complete(self, tmp_path):
+        (tmp_path / "bad.py").write_text(VIOLATING)
+        document = json.loads(render_sarif(lint_paths([tmp_path])))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "meghlint"
+        # Every rule the engine knows — per-file, flow, par, shape, and
+        # the MEGH013 meta-rule — is described in the driver metadata.
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        for rule_id in ("MEGH002", "MEGH010", "MEGH014", "MEGH021",
+                       "MEGH013"):
+            assert rule_id in rule_ids
+        results = run["results"]
+        assert {r["ruleId"] for r in results} == {"MEGH002", "MEGH003"}
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] == 2
+
 
 class TestLintCli:
     def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
@@ -139,11 +158,19 @@ class TestLintCli:
         document = json.loads(capsys.readouterr().out)
         assert document["summary"]["errors"] == 1
 
+    def test_sarif_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATING)
+        assert lint_cli(["--format", "sarif", str(tmp_path)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        assert len(document["runs"][0]["results"]) == 2
+
     def test_list_rules(self, capsys):
         assert lint_cli(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("MEGH001", "MEGH006"):
             assert rule_id in out
+        assert "MEGH021" in out and "(shape)" in out
 
 
 class TestReproCliIntegration:
